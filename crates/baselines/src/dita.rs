@@ -1,0 +1,219 @@
+//! The DITA baseline (SIGMOD'18), simplified to one node.
+//!
+//! DITA builds a trie over pivot points (first point, last point, then
+//! interior pivots) with MBR-based node pruning. We reproduce the
+//! first/last-pivot levels as a two-level grid trie and keep its
+//! characteristic weakness the paper calls out: "a trajectory may appear
+//! in a small area of its representative MBR", so MBR coverage filtering
+//! leaves many candidates.
+
+use crate::{finish_topk, EngineResult, SimilarityEngine};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use trass_geo::{Mbr, Point};
+use trass_traj::{Measure, Trajectory, TrajectoryId};
+
+/// Grid resolution of the pivot trie (cells per axis over the dataset
+/// extent).
+const GRID: usize = 64;
+
+/// The DITA-like engine.
+pub struct DitaEngine {
+    /// (start-cell, end-cell) → trajectory indexes.
+    trie: HashMap<(u32, u32), Vec<usize>>,
+    data: Vec<Trajectory>,
+    extent: Mbr,
+    build_time: Duration,
+}
+
+impl DitaEngine {
+    /// Builds the trie over the dataset.
+    pub fn build(data: Vec<Trajectory>) -> Self {
+        let t0 = Instant::now();
+        let extent = data
+            .iter()
+            .map(|t| t.mbr())
+            .reduce(|a, b| a.union(&b))
+            .unwrap_or(Mbr::new(0.0, 0.0, 1.0, 1.0));
+        let mut trie: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+        for (i, t) in data.iter().enumerate() {
+            let key = (cell_of(&t.start(), &extent), cell_of(&t.end(), &extent));
+            trie.entry(key).or_default().push(i);
+        }
+        DitaEngine { trie, data, extent, build_time: t0.elapsed() }
+    }
+
+    /// Indexes of trajectories whose start/end cells are within `eps` of
+    /// the query's start/end points.
+    fn pivot_candidates(&self, query: &Trajectory, eps: f64) -> Vec<usize> {
+        let start_cells = cells_within(&query.start(), eps, &self.extent);
+        let end_cells = cells_within(&query.end(), eps, &self.extent);
+        let mut out = Vec::new();
+        for &s in &start_cells {
+            for &e in &end_cells {
+                if let Some(ids) = self.trie.get(&(s, e)) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SimilarityEngine for DitaEngine {
+    fn name(&self) -> &'static str {
+        "DITA"
+    }
+
+    fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    fn threshold(&self, query: &Trajectory, eps: f64, measure: Measure) -> Option<EngineResult> {
+        let t0 = Instant::now();
+        // DITA's trie prunes on pivots only for coupling measures; for
+        // Hausdorff it cannot (and the real system does not support it).
+        if !measure.supports_endpoint_lemma() {
+            return None;
+        }
+        let hits = self.pivot_candidates(query, eps);
+        let retrieved = hits.len() as u64;
+        let window = query.mbr().extended(eps);
+        // MBR coverage filter, then exact.
+        let mut candidates = 0u64;
+        let mut results: Vec<(TrajectoryId, f64)> = Vec::new();
+        for i in hits {
+            let t = &self.data[i];
+            if !window.contains(&t.mbr()) {
+                continue;
+            }
+            candidates += 1;
+            if measure.within(query.points(), t.points(), eps) {
+                results.push((t.id, measure.distance(query.points(), t.points())));
+            }
+        }
+        results.sort_by_key(|&(tid, _)| tid);
+        Some(EngineResult { results, retrieved, candidates, query_time: t0.elapsed() })
+    }
+
+    fn top_k(&self, query: &Trajectory, k: usize, measure: Measure) -> Option<EngineResult> {
+        if !measure.supports_endpoint_lemma() {
+            return None;
+        }
+        let t0 = Instant::now();
+        // Iterative radius doubling over the pivot trie.
+        let mut eps = self.extent.width().max(self.extent.height()) / GRID as f64;
+        let mut agg = EngineResult::default();
+        for _ in 0..24 {
+            let r = self.threshold(query, eps, measure)?;
+            agg.retrieved += r.retrieved;
+            agg.candidates += r.candidates;
+            if r.results.len() >= k {
+                agg.results = finish_topk(r.results, k);
+                agg.query_time = t0.elapsed();
+                return Some(agg);
+            }
+            eps *= 2.0;
+        }
+        // Radius exhausted the extent: fall back to a full scan.
+        let mut scored: Vec<(TrajectoryId, f64)> = self
+            .data
+            .iter()
+            .map(|t| (t.id, measure.distance(query.points(), t.points())))
+            .collect();
+        agg.retrieved += self.data.len() as u64;
+        agg.candidates += scored.len() as u64;
+        scored = finish_topk(scored, k);
+        agg.results = scored;
+        agg.query_time = t0.elapsed();
+        Some(agg)
+    }
+}
+
+fn cell_of(p: &Point, extent: &Mbr) -> u32 {
+    let gx = (((p.x - extent.min_x) / extent.width().max(1e-12)) * GRID as f64)
+        .clamp(0.0, GRID as f64 - 1.0) as u32;
+    let gy = (((p.y - extent.min_y) / extent.height().max(1e-12)) * GRID as f64)
+        .clamp(0.0, GRID as f64 - 1.0) as u32;
+    gy * GRID as u32 + gx
+}
+
+/// All grid cells intersecting the disc of radius `eps` around `p`
+/// (approximated by its bounding square — a superset, so sound).
+fn cells_within(p: &Point, eps: f64, extent: &Mbr) -> Vec<u32> {
+    let cw = extent.width() / GRID as f64;
+    let ch = extent.height() / GRID as f64;
+    let gx0 = (((p.x - eps - extent.min_x) / cw).floor().max(0.0)) as i64;
+    let gx1 = (((p.x + eps - extent.min_x) / cw).floor()).min(GRID as f64 - 1.0) as i64;
+    let gy0 = (((p.y - eps - extent.min_y) / ch).floor().max(0.0)) as i64;
+    let gy1 = (((p.y + eps - extent.min_y) / ch).floor()).min(GRID as f64 - 1.0) as i64;
+    let mut out = Vec::new();
+    for gy in gy0..=gy1.max(gy0) {
+        for gx in gx0..=gx1.max(gx0) {
+            if (0..GRID as i64).contains(&gx) && (0..GRID as i64).contains(&gy) {
+                out.push(gy as u32 * GRID as u32 + gx as u32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Vec<Trajectory> {
+        trass_traj::generator::tdrive_like(9, 200)
+    }
+
+    #[test]
+    fn threshold_matches_brute_force() {
+        let data = dataset();
+        let e = DitaEngine::build(data.clone());
+        let q = &data[7];
+        let eps = 0.004;
+        let got = e.threshold(q, eps, Measure::Frechet).unwrap();
+        let got_ids: Vec<u64> = got.results.iter().map(|&(id, _)| id).collect();
+        let mut expected: Vec<u64> = data
+            .iter()
+            .filter(|t| Measure::Frechet.within(q.points(), t.points(), eps))
+            .map(|t| t.id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got_ids, expected);
+    }
+
+    #[test]
+    fn hausdorff_unsupported() {
+        // §VII-C: "DITA does not support the Hausdorff distance".
+        let data = dataset();
+        let e = DitaEngine::build(data.clone());
+        assert!(e.threshold(&data[0], 0.01, Measure::Hausdorff).is_none());
+        assert!(e.top_k(&data[0], 5, Measure::Hausdorff).is_none());
+    }
+
+    #[test]
+    fn topk_matches_brute_force_distances() {
+        let data = dataset();
+        let e = DitaEngine::build(data.clone());
+        let q = &data[11];
+        let got = e.top_k(q, 10, Measure::Frechet).unwrap();
+        assert_eq!(got.results.len(), 10);
+        let mut all: Vec<f64> = data
+            .iter()
+            .map(|t| Measure::Frechet.distance(q.points(), t.points()))
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in got.results.iter().zip(all.iter()) {
+            assert!((got.1 - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dtw_topk_works() {
+        let data = dataset();
+        let e = DitaEngine::build(data.clone());
+        let got = e.top_k(&data[2], 5, Measure::Dtw).unwrap();
+        assert_eq!(got.results.len(), 5);
+    }
+}

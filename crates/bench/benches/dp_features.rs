@@ -1,0 +1,46 @@
+//! Micro-benchmarks of Douglas-Peucker feature extraction and the local
+//! filtering predicates (Lemmas 13–14).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trass_geo::Point;
+use trass_traj::{DpFeatures, Trajectory};
+
+fn gps_trace(n: usize, seed: f64) -> Trajectory {
+    let points = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            Point::new(
+                116.3 + t * 0.1 + (t * 37.0 + seed).sin() * 0.002,
+                39.9 + (t * 11.0 + seed).cos() * 0.01,
+            )
+        })
+        .collect();
+    Trajectory::new(0, points)
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp");
+    for &n in &[100usize, 500, 2000] {
+        let t = gps_trace(n, 0.0);
+        group.bench_with_input(BenchmarkId::new("extract", n), &n, |b, _| {
+            b.iter(|| black_box(DpFeatures::extract(black_box(&t), 0.001)))
+        });
+    }
+    let a = DpFeatures::extract(&gps_trace(500, 0.0), 0.001);
+    let b_feat = DpFeatures::extract(&gps_trace(500, 2.0), 0.001);
+    group.bench_function("lemma13_rep_points_within", |b| {
+        b.iter(|| black_box(a.rep_points_within(black_box(&b_feat), 0.01)))
+    });
+    group.bench_function("lemma14_boxes_within", |b| {
+        b.iter(|| black_box(a.boxes_within(black_box(&b_feat), 0.01)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-machine reproduction: keep sampling light.
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_dp
+}
+criterion_main!(benches);

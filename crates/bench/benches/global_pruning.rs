@@ -1,0 +1,80 @@
+//! Micro-benchmarks of global pruning: Algorithm 1's range generation and
+//! the ablations of its lemmas (position codes, distance bounds) — the
+//! "pruning time" axis of Fig. 11(a).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trass_geo::{NormalizedSpace, Point};
+use trass_index::xzstar::{BestFirst, GlobalPruning, PruningConfig, QueryContext, XzStar};
+
+fn unit_query(seed: u64) -> Vec<Point> {
+    let space = NormalizedSpace::square(trass_traj::generator::BEIJING);
+    let traj = &trass_traj::generator::tdrive_like(seed, 10)[3];
+    traj.points().iter().map(|p| space.to_unit(p)).collect()
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let index = XzStar::new(16);
+    let points = unit_query(21);
+    let mut group = c.benchmark_group("global_pruning");
+    for &eps in &[0.0005f64, 0.002, 0.01] {
+        group.bench_with_input(BenchmarkId::new("full", format!("{eps}")), &eps, |b, &eps| {
+            let pruner = GlobalPruning::new(&index, PruningConfig::default());
+            b.iter(|| {
+                let ctx = QueryContext::new(&index, points.clone(), eps);
+                black_box(pruner.query_ranges(&ctx).len())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("no_position_codes", format!("{eps}")),
+            &eps,
+            |b, &eps| {
+                let pruner = GlobalPruning::new(
+                    &index,
+                    PruningConfig { use_position_codes: false, ..PruningConfig::default() },
+                );
+                b.iter(|| {
+                    let ctx = QueryContext::new(&index, points.clone(), eps);
+                    black_box(pruner.query_ranges(&ctx).len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_min_dist", format!("{eps}")),
+            &eps,
+            |b, &eps| {
+                let pruner = GlobalPruning::new(
+                    &index,
+                    PruningConfig { use_min_dist: false, ..PruningConfig::default() },
+                );
+                b.iter(|| {
+                    let ctx = QueryContext::new(&index, points.clone(), eps);
+                    black_box(pruner.query_ranges(&ctx).len())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("best_first/first_100_spaces", |b| {
+        b.iter(|| {
+            let mut bf = BestFirst::new(&index, points.clone());
+            let mut n = 0;
+            while let Some(s) = bf.next_space(f64::INFINITY) {
+                black_box(s.value);
+                n += 1;
+                if n == 100 {
+                    break;
+                }
+            }
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-machine reproduction: keep sampling light.
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_pruning
+}
+criterion_main!(benches);

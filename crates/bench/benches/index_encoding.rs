@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the XZ\* and XZ-Ordering encodings: sequence-length
+//! computation, indexing, encode/decode — the per-write cost of the static
+//! index (Fig. 13's "TraSS and JUST adopt the static index structure").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use trass_geo::{Mbr, NormalizedSpace, Point};
+use trass_index::xz2::Xz2;
+use trass_index::xzstar::XzStar;
+
+fn sample_trajectories(n: usize) -> Vec<Vec<Point>> {
+    let space = NormalizedSpace::square(trass_traj::generator::BEIJING);
+    trass_traj::generator::tdrive_like(5, n)
+        .into_iter()
+        .map(|t| t.points().iter().map(|p| space.to_unit(p)).collect())
+        .collect()
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let index = XzStar::new(16);
+    let xz2 = Xz2::new(16);
+    let trajs = sample_trajectories(200);
+    let mbrs: Vec<Mbr> =
+        trajs.iter().map(|t| Mbr::from_points(t.iter()).unwrap()).collect();
+    let spaces: Vec<_> = trajs.iter().map(|t| index.index_points(t)).collect();
+    let values: Vec<u64> = spaces.iter().map(|s| index.encode(s)).collect();
+
+    c.bench_function("xzstar/sequence_length", |b| {
+        b.iter(|| {
+            for m in &mbrs {
+                black_box(index.sequence_length(black_box(m)));
+            }
+        })
+    });
+    c.bench_function("xzstar/index_points", |b| {
+        b.iter(|| {
+            for t in &trajs {
+                black_box(index.index_points(black_box(t)));
+            }
+        })
+    });
+    c.bench_function("xzstar/encode", |b| {
+        b.iter(|| {
+            for s in &spaces {
+                black_box(index.encode(black_box(s)));
+            }
+        })
+    });
+    c.bench_function("xzstar/decode", |b| {
+        b.iter(|| {
+            for v in &values {
+                black_box(index.decode(black_box(*v)));
+            }
+        })
+    });
+    c.bench_function("xz2/encode_mbr", |b| {
+        b.iter(|| {
+            for m in &mbrs {
+                black_box(xz2.encode(&xz2.index_mbr(black_box(m))));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-machine reproduction: keep sampling light.
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_encoding
+}
+criterion_main!(benches);

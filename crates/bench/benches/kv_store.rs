@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the LSM store: put throughput, point gets, range
+//! scans with and without filter push-down.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use trass_kv::{FilterDecision, KeyRange, LsmStore, StoreOptions};
+
+fn filled_store(n: u32) -> LsmStore {
+    let store = LsmStore::open(StoreOptions::in_memory()).expect("open");
+    for i in 0..n {
+        let key = format!("key-{i:08}");
+        let value = format!("value-payload-{i:08}-{}", "x".repeat(64));
+        store.put(key, value).expect("put");
+    }
+    store.flush().expect("flush");
+    store
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("put_10k", |b| {
+        b.iter(|| {
+            let store = LsmStore::open(StoreOptions::in_memory()).expect("open");
+            for i in 0..10_000u32 {
+                store
+                    .put(format!("key-{i:08}"), format!("value-{i}"))
+                    .expect("put");
+            }
+            black_box(store.memtable_len());
+        })
+    });
+    group.finish();
+
+    let store = filled_store(50_000);
+    c.bench_function("kv/get_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            black_box(store.get(format!("key-{i:08}").as_bytes()).expect("get"))
+        })
+    });
+    c.bench_function("kv/get_miss", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            black_box(store.get(format!("key-{i:08}x").as_bytes()).expect("get"))
+        })
+    });
+    c.bench_function("kv/scan_1k", |b| {
+        b.iter(|| {
+            let r = KeyRange::new(&b"key-00010000"[..], &b"key-00011000"[..]);
+            black_box(store.scan(r).expect("scan").len())
+        })
+    });
+    c.bench_function("kv/scan_1k_filtered", |b| {
+        let filter = |_k: &[u8], v: &[u8]| {
+            if v.len() % 2 == 0 {
+                FilterDecision::Keep
+            } else {
+                FilterDecision::Skip
+            }
+        };
+        b.iter(|| {
+            let r = KeyRange::new(&b"key-00010000"[..], &b"key-00011000"[..]);
+            black_box(store.scan_filtered(r, &filter).expect("scan").len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-machine reproduction: keep sampling light.
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_kv
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the similarity kernels — the cost local filtering
+//! exists to avoid paying.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trass_geo::Point;
+use trass_traj::measures::{dtw, frechet, hausdorff};
+
+fn wiggle(n: usize, seed: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            Point::new(t * 10.0, (t * 20.0 + seed).sin() * 0.5 + seed * 0.01)
+        })
+        .collect()
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measures");
+    for &n in &[50usize, 200, 800] {
+        let a = wiggle(n, 0.0);
+        let b = wiggle(n, 1.0);
+        group.bench_with_input(BenchmarkId::new("frechet", n), &n, |bch, _| {
+            bch.iter(|| black_box(frechet::distance(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("frechet_within", n), &n, |bch, _| {
+            bch.iter(|| black_box(frechet::within(black_box(&a), black_box(&b), 0.1)))
+        });
+        group.bench_with_input(BenchmarkId::new("hausdorff", n), &n, |bch, _| {
+            bch.iter(|| black_box(hausdorff::distance(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw", n), &n, |bch, _| {
+            bch.iter(|| black_box(dtw::distance(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_within", n), &n, |bch, _| {
+            bch.iter(|| black_box(dtw::within(black_box(&a), black_box(&b), 0.5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-machine reproduction: keep sampling light.
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_measures
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! `summarize` — renders `results/*.jsonl` experiment rows as markdown
+//! tables (the format EXPERIMENTS.md embeds).
+//!
+//! ```sh
+//! summarize [results_dir]
+//! ```
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| "results".into());
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        eprintln!("no results directory at {}", dir.display());
+        std::process::exit(1);
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(&file) else { continue };
+        let rows: Vec<Value> =
+            text.lines().filter_map(|l| serde_json::from_str(l).ok()).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let experiment = rows[0]["experiment"].as_str().unwrap_or("?").to_string();
+        println!("\n### {experiment}\n");
+        // Collect the metric columns in first-seen order.
+        let mut metrics: Vec<String> = Vec::new();
+        for r in &rows {
+            if let Some(map) = r["metrics"].as_object() {
+                for k in map.keys() {
+                    if !metrics.contains(k) {
+                        metrics.push(k.clone());
+                    }
+                }
+            }
+        }
+        print!("| dataset | solution | param | value |");
+        for m in &metrics {
+            print!(" {m} |");
+        }
+        println!();
+        print!("|---|---|---|---|");
+        for _ in &metrics {
+            print!("---|");
+        }
+        println!();
+        // Deduplicate repeated runs: keep the last row per
+        // (dataset, solution, param, value).
+        let mut dedup: BTreeMap<String, &Value> = BTreeMap::new();
+        for r in &rows {
+            let key = format!(
+                "{}|{}|{}|{}",
+                r["dataset"].as_str().unwrap_or(""),
+                r["solution"].as_str().unwrap_or(""),
+                r["param"].as_str().unwrap_or(""),
+                r["param_value"]
+            );
+            dedup.insert(key, r);
+        }
+        for r in dedup.values() {
+            print!(
+                "| {} | {} | {} | {} |",
+                r["dataset"].as_str().unwrap_or(""),
+                r["solution"].as_str().unwrap_or(""),
+                r["param"].as_str().unwrap_or(""),
+                r["param_value"]
+            );
+            for m in &metrics {
+                match r["metrics"].get(m).and_then(|v| v.as_f64()) {
+                    Some(v) if v.abs() >= 100.0 => print!(" {v:.0} |"),
+                    Some(v) => print!(" {v:.3} |"),
+                    None => print!(" – |"),
+                }
+            }
+            println!();
+        }
+    }
+}

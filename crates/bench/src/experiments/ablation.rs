@@ -1,0 +1,130 @@
+//! Ablation study: which of TraSS's pruning stages buys what.
+//!
+//! Not a numbered figure, but the §VI-C/§VI-D discussion implies it and
+//! DESIGN.md calls it out: we switch off (a) position codes (Lemmas
+//! 10–11), (b) the distance bounds (Lemmas 9/11), and (c) local filtering
+//! (Lemmas 12–14) one at a time and measure rows retrieved, candidates,
+//! and query time at ε = 0.01 on both datasets.
+
+use crate::datasets::{self, Dataset};
+use crate::harness;
+use crate::report::Reporter;
+use trass_core::{config::TrassConfig, store::TrajectoryStore};
+use trass_traj::Measure;
+
+/// Runs the ablation.
+pub fn run() {
+    let mut rep = Reporter::new("ablation");
+    for ds in [datasets::tdrive(), datasets::lorry()] {
+        run_dataset(&ds, &mut rep);
+    }
+    let path = rep.finish();
+    println!("ablation rows appended to {}", path.display());
+}
+
+fn variants() -> Vec<(&'static str, fn(&mut TrassConfig))> {
+    vec![
+        ("full", |_| {}),
+        ("no-position-codes", |c| c.use_position_codes = false),
+        ("no-min-dist", |c| c.use_min_dist = false),
+        ("no-local-filter", |c| c.use_local_filter = false),
+        ("elements-only", |c| {
+            c.use_position_codes = false;
+            c.use_min_dist = false;
+            c.use_local_filter = false;
+        }),
+    ]
+}
+
+fn run_dataset(ds: &Dataset, rep: &mut Reporter) {
+    let queries = datasets::queries(ds, datasets::n_queries());
+    for (name, tweak) in variants() {
+        let mut cfg = TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
+        tweak(&mut cfg);
+        let store = TrajectoryStore::open(cfg).expect("open");
+        store.insert_all(&ds.data).expect("insert");
+        store.flush().expect("flush");
+        let agg = harness::run_trass_threshold(&store, &queries, 0.01, Measure::Frechet);
+        rep.row(
+            ds.name,
+            name,
+            "eps",
+            0.01,
+            &[
+                ("time_ms", agg.median_time.as_secs_f64() * 1e3),
+                ("retrieved", agg.mean_retrieved),
+                ("candidates", agg.mean_candidates),
+                ("results", agg.mean_results),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trass_core::query;
+
+    #[test]
+    fn ablations_do_not_change_answers() {
+        // Every ablation must stay *correct* — the lemmas only prune, never
+        // decide. Answers across variants must be identical.
+        std::env::set_var("TRASS_REPRO_SCALE", "0.05");
+        let ds = datasets::tdrive();
+        let queries = datasets::queries(&ds, 3);
+        let mut reference: Option<Vec<Vec<u64>>> = None;
+        for (name, tweak) in variants() {
+            let mut cfg =
+                TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
+            tweak(&mut cfg);
+            let store = TrajectoryStore::open(cfg).unwrap();
+            store.insert_all(&ds.data).unwrap();
+            store.flush().unwrap();
+            let answers: Vec<Vec<u64>> = queries
+                .iter()
+                .map(|q| {
+                    query::threshold_search(&store, q, 0.01, Measure::Frechet)
+                        .unwrap()
+                        .results
+                        .iter()
+                        .map(|&(id, _)| id)
+                        .collect()
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(&answers, r, "variant {name} changed the answers"),
+            }
+        }
+        std::env::remove_var("TRASS_REPRO_SCALE");
+    }
+
+    #[test]
+    fn disabling_stages_increases_work() {
+        std::env::set_var("TRASS_REPRO_SCALE", "0.1");
+        let ds = datasets::tdrive();
+        let queries = datasets::queries(&ds, 5);
+        let measure = |tweak: fn(&mut TrassConfig)| {
+            let mut cfg =
+                TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
+            tweak(&mut cfg);
+            let store = TrajectoryStore::open(cfg).unwrap();
+            store.insert_all(&ds.data).unwrap();
+            store.flush().unwrap();
+            let agg = harness::run_trass_threshold(&store, &queries, 0.01, Measure::Frechet);
+            (agg.mean_retrieved, agg.mean_candidates)
+        };
+        let (full_retrieved, full_candidates) = measure(|_| {});
+        let (nopc_retrieved, _) = measure(|c| c.use_position_codes = false);
+        let (_, nolf_candidates) = measure(|c| c.use_local_filter = false);
+        assert!(
+            nopc_retrieved >= full_retrieved,
+            "position codes should reduce rows: {nopc_retrieved} vs {full_retrieved}"
+        );
+        assert!(
+            nolf_candidates >= full_candidates,
+            "local filter should reduce candidates: {nolf_candidates} vs {full_candidates}"
+        );
+        std::env::remove_var("TRASS_REPRO_SCALE");
+    }
+}

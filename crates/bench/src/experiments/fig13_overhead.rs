@@ -1,0 +1,109 @@
+//! Fig. 13 — overhead: (a)(b) indexing time of every solution on both
+//! datasets; (c) average rowkey bytes under TraSS's integer encoding vs
+//! the TraSS-S string encoding (the paper reports −32 % on T-Drive and
+//! −27 % on Lorry).
+
+use crate::datasets::{self, Dataset};
+use crate::harness;
+use crate::report::Reporter;
+use trass_core::schema::{rowkey, string_rowkey};
+use trass_index::xzstar::XzStar;
+
+/// Runs the experiment.
+pub fn run() {
+    let mut rep = Reporter::new("fig13");
+    for ds in [datasets::tdrive(), datasets::lorry()] {
+        run_dataset(&ds, &mut rep);
+    }
+    let path = rep.finish();
+    println!("fig13 rows appended to {}", path.display());
+}
+
+fn run_dataset(ds: &Dataset, rep: &mut Reporter) {
+    // (a)(b) Indexing time.
+    let solutions = harness::build_all(ds);
+    rep.row(
+        ds.name,
+        "TraSS",
+        "n",
+        ds.data.len() as f64,
+        &[("index_ms", solutions.trass_build.as_secs_f64() * 1e3)],
+    );
+    for engine in &solutions.baselines {
+        rep.row(
+            ds.name,
+            engine.name(),
+            "n",
+            ds.data.len() as f64,
+            &[("index_ms", engine.build_time().as_secs_f64() * 1e3)],
+        );
+    }
+
+    // (c) Rowkey storage overhead: integer vs string encoding.
+    let (int_avg, str_avg, reduction) = rowkey_overhead(ds);
+    rep.row(
+        ds.name,
+        "TraSS",
+        "n",
+        ds.data.len() as f64,
+        &[("rowkey_bytes", int_avg)],
+    );
+    rep.row(
+        ds.name,
+        "TraSS-S",
+        "n",
+        ds.data.len() as f64,
+        &[("rowkey_bytes", str_avg), ("reduction_pct", reduction)],
+    );
+}
+
+/// Average rowkey sizes `(integer, string, reduction %)` over a dataset.
+///
+/// Uses the whole-earth space exactly as the paper's deployment does —
+/// rowkey lengths depend on absolute quadrant-sequence depth, which an
+/// extent-scoped space would shorten artificially.
+pub fn rowkey_overhead(ds: &Dataset) -> (f64, f64, f64) {
+    let space = trass_geo::WORLD_SQUARE;
+    let index = XzStar::new(16);
+    let mut int_bytes = 0usize;
+    let mut str_bytes = 0usize;
+    for t in &ds.data {
+        let unit: Vec<_> = t.points().iter().map(|p| space.to_unit(p)).collect();
+        let s = index.index_points(&unit);
+        int_bytes += rowkey(0, index.encode(&s), t.id).len();
+        str_bytes += string_rowkey(0, &s, t.id).len();
+    }
+    let n = ds.data.len() as f64;
+    let int_avg = int_bytes as f64 / n;
+    let str_avg = str_bytes as f64 / n;
+    (int_avg, str_avg, (str_avg - int_avg) / str_avg * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_encoding_reduces_rowkey_bytes_substantially() {
+        // Fig. 13(c): the paper reports 32 % (T-Drive) and 27 % (Lorry).
+        // Our city-scale taxi twin lands in the same regime; the lorry twin
+        // spans all of China (shallow sequences — see EXPERIMENTS.md), so
+        // its saving is smaller but must never be negative enough to make
+        // string keys preferable on average across datasets.
+        std::env::set_var("TRASS_REPRO_SCALE", "0.2");
+        let tdrive = datasets::tdrive();
+        let (int_avg, str_avg, reduction) = rowkey_overhead(&tdrive);
+        assert!(int_avg < str_avg);
+        assert!(
+            reduction > 15.0 && reduction < 60.0,
+            "T-Drive: reduction {reduction:.1}% (int {int_avg:.1}B, str {str_avg:.1}B)"
+        );
+        let lorry = datasets::lorry();
+        let (_, _, lorry_reduction) = rowkey_overhead(&lorry);
+        assert!(
+            lorry_reduction > -15.0,
+            "Lorry: reduction {lorry_reduction:.1}% unreasonably negative"
+        );
+        std::env::remove_var("TRASS_REPRO_SCALE");
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 14–15 — varying the maximum resolution ∈ {14, 16, 18, 20}:
+//! selectivity (distinct index values / rows) and query time for both
+//! query types, on both datasets.
+//!
+//! The paper's observation: resolution 14 under-discriminates (low
+//! selectivity → more false hits), very deep resolutions buy nothing;
+//! 16 is the sweet spot.
+
+use crate::datasets::{self, Dataset};
+use crate::harness;
+use crate::report::Reporter;
+use std::collections::HashSet;
+use trass_index::xzstar::XzStar;
+use trass_traj::Measure;
+
+/// The resolution sweep of §VI-D.
+pub const RESOLUTIONS: [u8; 4] = [14, 16, 18, 20];
+
+/// Runs the experiment.
+pub fn run() {
+    let mut rep = Reporter::new("fig14");
+    for ds in [datasets::tdrive(), datasets::lorry()] {
+        run_dataset(&ds, &mut rep);
+    }
+    let path = rep.finish();
+    println!("fig14 rows appended to {}", path.display());
+}
+
+/// Selectivity: distinct index values over rows (§VI-D's definition: "the
+/// ratio of index values to that of the row keys").
+pub fn selectivity(ds: &Dataset, resolution: u8) -> f64 {
+    let space = trass_geo::WORLD_SQUARE;
+    let index = XzStar::new(resolution);
+    let mut distinct = HashSet::new();
+    for t in &ds.data {
+        let unit: Vec<_> = t.points().iter().map(|p| space.to_unit(p)).collect();
+        distinct.insert(index.encode(&index.index_points(&unit)));
+    }
+    distinct.len() as f64 / ds.data.len() as f64
+}
+
+fn run_dataset(ds: &Dataset, rep: &mut Reporter) {
+    let queries = datasets::queries(ds, (datasets::n_queries() / 2).max(5));
+    for resolution in RESOLUTIONS {
+        let sel = selectivity(ds, resolution);
+        let (store, _) = harness::build_trass(ds, resolution, 8);
+        let th = harness::run_trass_threshold(&store, &queries, 0.01, Measure::Frechet);
+        let tk = harness::run_trass_topk(&store, &queries, 50, Measure::Frechet);
+        rep.row(
+            ds.name,
+            "TraSS",
+            "res",
+            resolution as f64,
+            &[
+                ("selectivity", sel),
+                ("threshold_ms", th.median_time.as_secs_f64() * 1e3),
+                ("topk_ms", tk.median_time.as_secs_f64() * 1e3),
+                ("threshold_retrieved", th.mean_retrieved),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_grows_with_resolution() {
+        // Fig. 14(a)/15(a): resolution 14's selectivity is lowest.
+        std::env::remove_var("TRASS_REPRO_SCALE");
+        let ds = datasets::tdrive();
+        let s14 = selectivity(&ds, 14);
+        let s16 = selectivity(&ds, 16);
+        let s20 = selectivity(&ds, 20);
+        assert!(s14 < s16, "s14 {s14} !< s16 {s16}");
+        assert!(s16 <= s20 + 1e-9, "s16 {s16} !<= s20 {s20}");
+        assert!(s14 > 0.0 && s20 <= 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 19 — effect of the shard count ∈ {1 … 32}: query time and the
+//! skew the shards exist to cure (§IV-E's hot-spotting discussion).
+
+use crate::datasets;
+use crate::harness;
+use crate::report::Reporter;
+use trass_traj::Measure;
+
+/// The shard sweep of §VI-E.
+pub const SHARD_SWEEP: [u8; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the experiment.
+pub fn run() {
+    let mut rep = Reporter::new("fig19");
+    let ds = datasets::tdrive();
+    let queries = datasets::queries(&ds, (datasets::n_queries() / 2).max(5));
+    for shards in SHARD_SWEEP {
+        let (store, build) = harness::build_trass(&ds, 16, shards);
+        let th = harness::run_trass_threshold(&store, &queries, 0.01, Measure::Frechet);
+        let tk = harness::run_trass_topk(&store, &queries, 50, Measure::Frechet);
+        // Skew: max region row count over the mean (1.0 = perfectly even).
+        let counts = store.cluster().region_entry_counts();
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        let skew =
+            counts.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0);
+        rep.row(
+            ds.name,
+            "TraSS",
+            "shards",
+            shards as f64,
+            &[
+                ("threshold_ms", th.median_time.as_secs_f64() * 1e3),
+                ("topk_ms", tk.median_time.as_secs_f64() * 1e3),
+                ("index_ms", build.as_secs_f64() * 1e3),
+                ("skew", skew),
+                ("ranges", th.mean_retrieved), // extra context for the report
+            ],
+        );
+    }
+    let path = rep.finish();
+    println!("fig19 rows appended to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_shards_reduce_skew() {
+        std::env::remove_var("TRASS_REPRO_SCALE");
+        let ds = datasets::tdrive();
+        let (s1, _) = harness::build_trass(&ds, 16, 1);
+        let (s8, _) = harness::build_trass(&ds, 16, 8);
+        let skew = |store: &trass_core::TrajectoryStore| {
+            let counts = store.cluster().region_entry_counts();
+            let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+            counts.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0)
+        };
+        // One shard is trivially "even" (one region); with 8 shards the
+        // hash keeps the spread tight.
+        assert_eq!(skew(&s1), 1.0);
+        assert!(skew(&s8) < 1.25, "8-shard skew {}", skew(&s8));
+    }
+}

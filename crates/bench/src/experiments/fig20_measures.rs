@@ -1,0 +1,58 @@
+//! Fig. 20 — other measures (§VII): Hausdorff and DTW query times.
+//!
+//! Support matrix follows the paper: DITA has no Hausdorff, DFT has no
+//! DTW, REPOSE is top-k-only; unsupported cells simply produce no row.
+
+use crate::datasets::{self, Dataset};
+use crate::harness;
+use crate::report::Reporter;
+use trass_traj::Measure;
+
+/// Runs the experiment.
+pub fn run() {
+    let mut rep = Reporter::new("fig20");
+    for ds in [datasets::tdrive(), datasets::lorry()] {
+        run_dataset(&ds, &mut rep);
+    }
+    let path = rep.finish();
+    println!("fig20 rows appended to {}", path.display());
+}
+
+fn run_dataset(ds: &Dataset, rep: &mut Reporter) {
+    let queries = datasets::queries(ds, (datasets::n_queries() / 2).max(5));
+    let solutions = harness::build_all(ds);
+    for measure in [Measure::Hausdorff, Measure::Dtw] {
+        // DTW budgets are sums of point distances; use a larger eps so
+        // threshold answers are non-trivial.
+        let eps = match measure {
+            Measure::Dtw => 0.2,
+            _ => 0.01,
+        };
+        let th = harness::run_trass_threshold(&solutions.trass, &queries, eps, measure);
+        let tk = harness::run_trass_topk(&solutions.trass, &queries, 50, measure);
+        rep.row(
+            ds.name,
+            "TraSS",
+            &format!("{measure}"),
+            eps,
+            &[
+                ("threshold_ms", th.median_time.as_secs_f64() * 1e3),
+                ("topk_ms", tk.median_time.as_secs_f64() * 1e3),
+            ],
+        );
+        for engine in &solutions.baselines {
+            let th = harness::run_engine_threshold(engine.as_ref(), &queries, eps, measure);
+            let tk = harness::run_engine_topk(engine.as_ref(), &queries, 50, measure);
+            let mut metrics: Vec<(&str, f64)> = Vec::new();
+            if let Some(th) = &th {
+                metrics.push(("threshold_ms", th.median_time.as_secs_f64() * 1e3));
+            }
+            if let Some(tk) = &tk {
+                metrics.push(("topk_ms", tk.median_time.as_secs_f64() * 1e3));
+            }
+            if !metrics.is_empty() {
+                rep.row(ds.name, engine.name(), &format!("{measure}"), eps, &metrics);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The I/O-reduction claims: §IV-B's theoretical 83.6 % average and
+//! §VI / abstract's measured "up to 66.4 % less I/O than XZ-Ordering".
+//!
+//! * **Theory**: enumerates the 14 far-quad configurations and their
+//!   surviving position codes — the exact table of §IV-B's Discussion.
+//! * **Measured**: runs the same query batch through TraSS (XZ\*) and the
+//!   JUST engine (XZ-Ordering) on identical KV clusters and compares rows
+//!   scanned.
+
+use crate::datasets;
+use crate::harness;
+use crate::report::Reporter;
+use trass_baselines::xz_kv::{XzKvConfig, XzKvEngine};
+use trass_baselines::SimilarityEngine;
+use trass_index::xzstar::{io_reduction, QuadSet};
+use trass_traj::Measure;
+
+/// Runs the experiment.
+pub fn run() {
+    theory();
+    measured();
+}
+
+/// §IV-B's theoretical table.
+pub fn theory() {
+    let mut rep = Reporter::new("io_theory");
+    let names = ["a", "b", "c", "d"];
+    let mut total = 0.0;
+    let mut count = 0u32;
+    for mask in 1u8..15 {
+        let set = QuadSet(mask);
+        let label: String = (0..4)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| names[i])
+            .collect();
+        let quads = (0..4).filter(|i| mask >> i & 1 == 1).count();
+        if quads == 4 {
+            continue;
+        }
+        let reduction = io_reduction(set);
+        total += reduction;
+        count += 1;
+        rep.row("theory", "XZ*", &format!("far-{label}"), quads as f64, &[(
+            "reduction_pct",
+            reduction * 100.0,
+        )]);
+    }
+    rep.row("theory", "XZ*", "average", 0.0, &[(
+        "reduction_pct",
+        total / count as f64 * 100.0,
+    )]);
+    let path = rep.finish();
+    println!("io_theory rows appended to {}", path.display());
+}
+
+/// Measured rows-scanned comparison, TraSS vs XZ-Ordering.
+pub fn measured() {
+    let mut rep = Reporter::new("io_measured");
+    for ds in [datasets::tdrive(), datasets::lorry()] {
+        let queries = datasets::queries(&ds, datasets::n_queries());
+        let (trass, _) = harness::build_trass(&ds, 16, 8);
+        let just = XzKvEngine::build(&ds.data, XzKvConfig::default());
+        for eps in [0.001, 0.005, 0.01, 0.02] {
+            let t = harness::run_trass_threshold(&trass, &queries, eps, Measure::Frechet);
+            let j = harness::run_engine_threshold(&just, &queries, eps, Measure::Frechet)
+                .expect("JUST supports threshold");
+            let reduction = if j.mean_retrieved > 0.0 {
+                (j.mean_retrieved - t.mean_retrieved) / j.mean_retrieved * 100.0
+            } else {
+                0.0
+            };
+            rep.row(
+                ds.name,
+                "TraSS-vs-XZ2",
+                "eps",
+                eps,
+                &[
+                    ("trass_rows", t.mean_retrieved),
+                    ("xz2_rows", j.mean_retrieved),
+                    ("reduction_pct", reduction),
+                ],
+            );
+        }
+        let _ = just.name();
+    }
+    let path = rep.finish();
+    println!("io_measured rows appended to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_average_is_83_6() {
+        let mut total = 0.0;
+        let mut count = 0;
+        for mask in 1u8..15 {
+            let quads = (0..4).filter(|i| mask >> i & 1 == 1).count();
+            if (1..=3).contains(&quads) {
+                total += io_reduction(QuadSet(mask));
+                count += 1;
+            }
+        }
+        let avg = total / count as f64 * 100.0;
+        assert!((avg - 83.6).abs() < 0.1, "avg = {avg}");
+    }
+
+    #[test]
+    fn xzstar_scans_fewer_rows_than_xz2() {
+        // The measured half of the claim, on a small workload.
+        std::env::set_var("TRASS_REPRO_SCALE", "0.2");
+        let ds = datasets::tdrive();
+        let queries = datasets::queries(&ds, 10);
+        let (trass, _) = harness::build_trass(&ds, 16, 8);
+        let just = XzKvEngine::build(&ds.data, XzKvConfig::default());
+        let t = harness::run_trass_threshold(&trass, &queries, 0.005, Measure::Frechet);
+        let j = harness::run_engine_threshold(&just, &queries, 0.005, Measure::Frechet).unwrap();
+        assert!(
+            t.mean_retrieved < j.mean_retrieved,
+            "TraSS {} rows vs XZ2 {} rows",
+            t.mean_retrieved,
+            j.mean_retrieved
+        );
+        std::env::remove_var("TRASS_REPRO_SCALE");
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared machinery: building the solutions and timing their queries on a
+//! common axis.
+
+use crate::datasets::Dataset;
+use std::time::{Duration, Instant};
+use trass_baselines::dft::DftEngine;
+use trass_baselines::dita::DitaEngine;
+use trass_baselines::repose::ReposeEngine;
+use trass_baselines::xz_kv::{XzKvConfig, XzKvEngine};
+use trass_baselines::{EngineResult, SimilarityEngine};
+use trass_core::{config::TrassConfig, query, store::TrajectoryStore};
+use trass_traj::{Measure, Trajectory};
+
+/// All solutions of the evaluation, built over one dataset.
+pub struct Solutions {
+    /// TraSS itself (not a `SimilarityEngine` — it carries richer stats).
+    pub trass: TrajectoryStore,
+    /// Time to index + load TraSS.
+    pub trass_build: Duration,
+    /// The baseline engines.
+    pub baselines: Vec<Box<dyn SimilarityEngine>>,
+}
+
+/// Builds TraSS over a dataset with a given maximum resolution.
+///
+/// Uses the whole-earth space, as the paper's deployment does ("The entire
+/// index space of the XZ\* index covers the earth", §VI) — resolution-
+/// dependent figures (12, 14–15) only reproduce under absolute depths.
+pub fn build_trass(ds: &Dataset, max_resolution: u8, shards: u8) -> (TrajectoryStore, Duration) {
+    let t0 = Instant::now();
+    let _ = &ds.extent; // extent drives the generators, not the index space
+    let cfg = TrassConfig {
+        max_resolution,
+        shards,
+        space: trass_geo::WORLD_SQUARE,
+        ..TrassConfig::default()
+    };
+    let store = TrajectoryStore::open(cfg).expect("valid config");
+    store.insert_all(&ds.data).expect("in-memory insert");
+    store.flush().expect("flush");
+    (store, t0.elapsed())
+}
+
+/// Builds every solution over a dataset.
+pub fn build_all(ds: &Dataset) -> Solutions {
+    let (trass, trass_build) = build_trass(ds, 16, 8);
+    let baselines: Vec<Box<dyn SimilarityEngine>> = vec![
+        Box::new(DftEngine::build(ds.data.clone(), 1)),
+        Box::new(DitaEngine::build(ds.data.clone())),
+        Box::new(XzKvEngine::build(&ds.data, XzKvConfig::default())),
+        Box::new(ReposeEngine::build(ds.data.clone(), 2)),
+    ];
+    Solutions { trass, trass_build, baselines }
+}
+
+/// One solution's aggregate numbers over a query batch.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Median query time.
+    pub median_time: Duration,
+    /// 99th-percentile query time (Fig. 18).
+    pub p99_time: Duration,
+    /// Mean candidates per query.
+    pub mean_candidates: f64,
+    /// Mean rows retrieved per query.
+    pub mean_retrieved: f64,
+    /// Mean results per query.
+    pub mean_results: f64,
+    /// Mean precision (results / candidates).
+    pub mean_precision: f64,
+    /// Mean global-pruning time.
+    pub mean_pruning_time: Duration,
+}
+
+fn aggregate(samples: &[(Duration, u64, u64, u64, Duration)]) -> Aggregate {
+    assert!(!samples.is_empty());
+    let mut times: Vec<Duration> = samples.iter().map(|s| s.0).collect();
+    times.sort();
+    let n = times.len();
+    let median_time = times[n / 2];
+    let p99_time = times[((n as f64 * 0.99) as usize).min(n - 1)];
+    let sum_c: u64 = samples.iter().map(|s| s.1).sum();
+    let sum_r: u64 = samples.iter().map(|s| s.2).sum();
+    let sum_res: u64 = samples.iter().map(|s| s.3).sum();
+    let sum_prune: Duration = samples.iter().map(|s| s.4).sum();
+    let mean_precision = samples
+        .iter()
+        .map(|s| if s.1 == 0 { 1.0 } else { s.3 as f64 / s.1 as f64 })
+        .sum::<f64>()
+        / n as f64;
+    Aggregate {
+        median_time,
+        p99_time,
+        mean_candidates: sum_c as f64 / n as f64,
+        mean_retrieved: sum_r as f64 / n as f64,
+        mean_results: sum_res as f64 / n as f64,
+        mean_precision,
+        mean_pruning_time: sum_prune / n as u32,
+    }
+}
+
+/// Runs TraSS threshold search over a query batch.
+pub fn run_trass_threshold(
+    store: &TrajectoryStore,
+    queries: &[Trajectory],
+    eps: f64,
+    measure: Measure,
+) -> Aggregate {
+    let samples: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            let r = query::threshold_search(store, q, eps, measure).expect("search");
+            (
+                t0.elapsed(),
+                r.stats.candidates,
+                r.stats.retrieved,
+                r.stats.results,
+                r.stats.pruning_time,
+            )
+        })
+        .collect();
+    aggregate(&samples)
+}
+
+/// Runs TraSS top-k search over a query batch.
+pub fn run_trass_topk(
+    store: &TrajectoryStore,
+    queries: &[Trajectory],
+    k: usize,
+    measure: Measure,
+) -> Aggregate {
+    let samples: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            let r = query::top_k_search(store, q, k, measure).expect("search");
+            (
+                t0.elapsed(),
+                r.stats.candidates,
+                r.stats.retrieved,
+                r.stats.results,
+                r.stats.pruning_time,
+            )
+        })
+        .collect();
+    aggregate(&samples)
+}
+
+/// Runs a baseline's threshold search over a query batch; `None` when the
+/// engine does not support the operation/measure.
+pub fn run_engine_threshold(
+    engine: &dyn SimilarityEngine,
+    queries: &[Trajectory],
+    eps: f64,
+    measure: Measure,
+) -> Option<Aggregate> {
+    let samples: Vec<_> = queries
+        .iter()
+        .map(|q| engine.threshold(q, eps, measure).map(to_sample))
+        .collect::<Option<Vec<_>>>()?;
+    Some(aggregate(&samples))
+}
+
+/// Runs a baseline's top-k search over a query batch.
+pub fn run_engine_topk(
+    engine: &dyn SimilarityEngine,
+    queries: &[Trajectory],
+    k: usize,
+    measure: Measure,
+) -> Option<Aggregate> {
+    let samples: Vec<_> = queries
+        .iter()
+        .map(|q| engine.top_k(q, k, measure).map(to_sample))
+        .collect::<Option<Vec<_>>>()?;
+    Some(aggregate(&samples))
+}
+
+fn to_sample(r: EngineResult) -> (Duration, u64, u64, u64, Duration) {
+    (r.query_time, r.candidates, r.retrieved, r.results.len() as u64, Duration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_math() {
+        let samples = vec![
+            (Duration::from_millis(1), 10, 20, 5, Duration::from_micros(10)),
+            (Duration::from_millis(3), 20, 40, 10, Duration::from_micros(20)),
+            (Duration::from_millis(2), 0, 0, 0, Duration::from_micros(30)),
+        ];
+        let a = aggregate(&samples);
+        assert_eq!(a.median_time, Duration::from_millis(2));
+        assert_eq!(a.p99_time, Duration::from_millis(3));
+        assert!((a.mean_candidates - 10.0).abs() < 1e-9);
+        assert!((a.mean_retrieved - 20.0).abs() < 1e-9);
+        // precision: 0.5, 0.5, 1.0 → 2/3
+        assert!((a.mean_precision - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Result reporting: aligned console tables plus JSONL files under
+//! `results/`.
+
+use serde::Serialize;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One machine-readable result row.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Experiment id, e.g. "fig9".
+    pub experiment: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Solution name ("TraSS", "DFT", …).
+    pub solution: String,
+    /// Swept parameter name ("eps", "k", "resolution", …).
+    pub param: String,
+    /// Swept parameter value.
+    pub param_value: f64,
+    /// Metric values keyed by name.
+    pub metrics: serde_json::Map<String, serde_json::Value>,
+}
+
+/// Collects and emits one experiment's rows.
+pub struct Reporter {
+    experiment: String,
+    rows: Vec<Row>,
+}
+
+impl Reporter {
+    /// Starts a reporter for an experiment id.
+    pub fn new(experiment: &str) -> Self {
+        Reporter { experiment: experiment.to_string(), rows: Vec::new() }
+    }
+
+    /// Records a row.
+    pub fn row(
+        &mut self,
+        dataset: &str,
+        solution: &str,
+        param: &str,
+        param_value: f64,
+        metrics: &[(&str, f64)],
+    ) {
+        let mut map = serde_json::Map::new();
+        for (k, v) in metrics {
+            map.insert(
+                k.to_string(),
+                serde_json::Number::from_f64(*v)
+                    .map(serde_json::Value::Number)
+                    .unwrap_or(serde_json::Value::Null),
+            );
+        }
+        self.rows.push(Row {
+            experiment: self.experiment.clone(),
+            dataset: dataset.to_string(),
+            solution: solution.to_string(),
+            param: param.to_string(),
+            param_value,
+            metrics: map,
+        });
+    }
+
+    /// Prints the rows as an aligned table and appends them to
+    /// `results/<experiment>.jsonl`. Returns the output path.
+    pub fn finish(self) -> PathBuf {
+        // Console table.
+        let metric_names: Vec<String> = {
+            let mut names: Vec<String> = Vec::new();
+            for r in &self.rows {
+                for k in r.metrics.keys() {
+                    if !names.contains(k) {
+                        names.push(k.clone());
+                    }
+                }
+            }
+            names
+        };
+        println!("\n== {} ==", self.experiment);
+        print!("{:<10} {:<12} {:>6} {:>10}", "dataset", "solution", "param", "value");
+        for m in &metric_names {
+            print!(" {m:>16}");
+        }
+        println!();
+        for r in &self.rows {
+            print!(
+                "{:<10} {:<12} {:>6} {:>10.4}",
+                r.dataset, r.solution, r.param, r.param_value
+            );
+            for m in &metric_names {
+                match r.metrics.get(m).and_then(|v| v.as_f64()) {
+                    Some(v) => print!(" {v:>16.4}"),
+                    None => print!(" {:>16}", "-"),
+                }
+            }
+            println!();
+        }
+
+        // JSONL file.
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{}.jsonl", self.experiment));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open results file");
+        for r in &self.rows {
+            let line = serde_json::to_string(r).expect("serialize row");
+            writeln!(file, "{line}").expect("write row");
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize() {
+        let mut rep = Reporter::new("test-exp");
+        rep.row("ds", "TraSS", "eps", 0.01, &[("time_ms", 1.5), ("candidates", 10.0)]);
+        assert_eq!(rep.rows.len(), 1);
+        let json = serde_json::to_string(&rep.rows[0]).unwrap();
+        assert!(json.contains("\"experiment\":\"test-exp\""));
+        assert!(json.contains("time_ms"));
+    }
+}

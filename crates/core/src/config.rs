@@ -1,0 +1,114 @@
+//! Framework configuration.
+
+use trass_geo::{Mbr, NormalizedSpace};
+use trass_kv::StoreOptions;
+
+/// Configuration of a TraSS deployment.
+#[derive(Debug, Clone)]
+pub struct TrassConfig {
+    /// Maximum XZ\* resolution (paper default: 16).
+    pub max_resolution: u8,
+    /// Number of rowkey shards (paper sweeps 1–32; 8 is its sweet spot).
+    pub shards: u8,
+    /// Douglas-Peucker tolerance in world units (paper default: 0.01°).
+    pub dp_theta: f64,
+    /// World extent mapped onto the unit square. Must be square so
+    /// distance-based pruning scales uniformly (see `trass_geo::normalize`).
+    pub space: NormalizedSpace,
+    /// Gap tolerance when coalescing index values into scan ranges.
+    pub range_gap: u64,
+    /// Run region scans on parallel threads (the five-node cluster of the
+    /// paper's evaluation).
+    pub parallel_scans: bool,
+    /// Per-region store tuning. `dir = None` runs in memory.
+    pub store: StoreOptions,
+    /// Ablation: apply position-code filtering (Lemmas 10–11) in global
+    /// pruning. Off reduces XZ\* to element-granularity pruning (§VI-D).
+    pub use_position_codes: bool,
+    /// Ablation: apply the distance-bound lemmas (9 and 11).
+    pub use_min_dist: bool,
+    /// Ablation: push local filtering (Lemmas 12–14) into scans. Off makes
+    /// every retrieved row a refinement candidate.
+    pub use_local_filter: bool,
+}
+
+impl Default for TrassConfig {
+    fn default() -> Self {
+        TrassConfig {
+            max_resolution: 16,
+            shards: 8,
+            dp_theta: 0.01,
+            space: trass_geo::WORLD_SQUARE,
+            range_gap: 0,
+            parallel_scans: true,
+            store: StoreOptions::default(),
+            use_position_codes: true,
+            use_min_dist: true,
+            use_local_filter: true,
+        }
+    }
+}
+
+impl TrassConfig {
+    /// A configuration whose index covers only `extent` (padded to a
+    /// square), useful for city-scale tests needing finer effective
+    /// resolution.
+    pub fn for_extent(extent: Mbr) -> Self {
+        TrassConfig { space: NormalizedSpace::square(extent), ..Self::default() }
+    }
+
+    /// Validates invariants the framework relies on.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !(1..=30).contains(&self.max_resolution) {
+            return Err(format!("max_resolution {} out of 1..=30", self.max_resolution));
+        }
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if !self.space.is_square() {
+            return Err("space extent must be square for sound distance pruning".into());
+        }
+        if !(self.dp_theta >= 0.0) {
+            return Err("dp_theta must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = TrassConfig::default();
+        assert_eq!(c.max_resolution, 16);
+        assert_eq!(c.shards, 8);
+        assert_eq!(c.dp_theta, 0.01);
+        assert!(c.space.is_square());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = TrassConfig::default();
+        c.max_resolution = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrassConfig::default();
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrassConfig::default();
+        c.space = trass_geo::WORLD; // not square
+        assert!(c.validate().is_err());
+        let mut c = TrassConfig::default();
+        c.dp_theta = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn for_extent_squares_the_extent() {
+        let c = TrassConfig::for_extent(Mbr::new(116.0, 39.6, 116.8, 40.2));
+        assert!(c.space.is_square());
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,22 @@
+//! Query processing (§V): threshold and top-k similarity search.
+//!
+//! Both searches share the same two-stage pruning pipeline:
+//!
+//! 1. **Global pruning** (§V-C) turns the query into a small set of index
+//!    value ranges — resolution banding (Lemmas 6–7), element distance
+//!    bounds (Lemmas 8–9), position-code filtering (Lemmas 10–11).
+//! 2. **Local filtering** (§V-D) runs inside the store's scan, rejecting
+//!    rows by endpoint distance (Lemma 12) and DP features (Lemmas 13–14)
+//!    before they reach the client.
+//!
+//! Only the survivors pay the exact similarity computation.
+
+mod local_filter;
+mod range;
+mod threshold;
+mod topk;
+
+pub use local_filter::{LocalFilter, QuerySide};
+pub use range::range_search;
+pub use threshold::threshold_search;
+pub use topk::top_k_search;

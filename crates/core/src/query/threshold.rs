@@ -1,0 +1,225 @@
+//! Threshold similarity search (§V-E, Algorithm 3).
+
+use crate::query::local_filter::{LocalFilter, QuerySide};
+use crate::schema::{parse_rowkey, rowkey_range, RowValue};
+use crate::stats::{QueryStats, SearchResult};
+use crate::store::TrajectoryStore;
+use std::time::Instant;
+use trass_index::xzstar::{GlobalPruning, PruningConfig, QueryContext};
+use trass_kv::{KeyRange, KvError};
+use trass_traj::{Measure, Trajectory};
+
+/// Finds every stored trajectory `T` with `f(Q, T) ≤ eps` (world units,
+/// i.e. degrees under the default whole-earth space).
+///
+/// Follows Algorithm 3: global pruning generates the scan ranges
+/// (Algorithm 1), local filtering runs inside the store's scan
+/// (Algorithm 2), and only survivors pay the exact measure.
+pub fn threshold_search(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    eps: f64,
+    measure: Measure,
+) -> Result<SearchResult, KvError> {
+    if !(eps >= 0.0) {
+        return Err(KvError::InvalidUsage { message: format!("invalid threshold {eps}") });
+    }
+    let mut stats = QueryStats::default();
+    let config = store.config();
+
+    // Global pruning (G-Pruning in Fig. 8).
+    let t0 = Instant::now();
+    let unit_points = store.to_unit(query.points());
+    let eps_unit = config.space.distance_to_unit(eps);
+    let ctx = QueryContext::new(store.index(), unit_points, eps_unit);
+    let pruner = GlobalPruning::new(
+        store.index(),
+        PruningConfig {
+            range_gap: config.range_gap,
+            use_position_codes: config.use_position_codes,
+            use_min_dist: config.use_min_dist,
+            ..PruningConfig::default()
+        },
+    );
+    let value_ranges = pruner.query_ranges(&ctx);
+    let mut key_ranges: Vec<KeyRange> =
+        Vec::with_capacity(value_ranges.len() * config.shards as usize);
+    for shard in 0..config.shards {
+        for vr in &value_ranges {
+            key_ranges.push(rowkey_range(shard, vr.start, vr.end));
+        }
+    }
+    stats.pruning_time = t0.elapsed();
+    stats.n_ranges = key_ranges.len();
+
+    // Scan with local filtering pushed down (L-Filtering in Fig. 8).
+    let io_before = store.cluster().metrics_snapshot();
+    let side = QuerySide::new(query, config.dp_theta, measure);
+    // Ablation: an infinite threshold disables every local-filter lemma
+    // while keeping the scan path identical.
+    let filter_eps = if config.use_local_filter { eps } else { f64::INFINITY };
+    let filter = LocalFilter::new(side, filter_eps);
+    let t1 = Instant::now();
+    let rows = store.cluster().scan_ranges(&key_ranges, &filter)?;
+    stats.scan_time = t1.elapsed();
+    stats.io = store.cluster().metrics_snapshot().since(&io_before);
+    stats.retrieved = stats.io.entries_scanned;
+    stats.candidates = filter.kept();
+
+    // Refinement: exact similarity on the candidates.
+    let t2 = Instant::now();
+    let mut results = Vec::new();
+    for row in rows {
+        let Some((_, _, tid)) = parse_rowkey(&row.key) else { continue };
+        let Ok(value) = RowValue::decode(&row.value) else { continue };
+        if measure.within(query.points(), &value.points, eps) {
+            // Hits are few; the exact value is worth one more pass.
+            let d = measure.distance(query.points(), &value.points);
+            results.push((tid, d));
+        }
+    }
+    results.sort_by_key(|&(tid, _)| tid);
+    stats.refine_time = t2.elapsed();
+    stats.results = results.len() as u64;
+    Ok(SearchResult { results, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrassConfig;
+    use trass_geo::Point;
+
+    fn traj(id: u64, pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(id, pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    /// A small city of trajectories around Beijing plus far-away noise.
+    fn populated_store() -> (TrajectoryStore, Trajectory) {
+        let store = TrajectoryStore::open(TrassConfig::default()).unwrap();
+        let base = traj(
+            100,
+            &[(116.30, 39.90), (116.31, 39.905), (116.32, 39.90), (116.33, 39.91)],
+        );
+        store.insert(&base).unwrap();
+        // Two shifted near-duplicates.
+        for (id, dy) in [(101u64, 0.001), (102, 0.004)] {
+            let pts: Vec<(f64, f64)> =
+                base.points().iter().map(|p| (p.x, p.y + dy)).collect();
+            store.insert(&traj(id, &pts)).unwrap();
+        }
+        // A same-shape trajectory far away.
+        let far: Vec<(f64, f64)> =
+            base.points().iter().map(|p| (p.x + 1.0, p.y + 1.0)).collect();
+        store.insert(&traj(200, &far)).unwrap();
+        // A much larger trajectory overlapping spatially.
+        store
+            .insert(&traj(300, &[(116.0, 39.6), (116.4, 40.0), (116.8, 39.7)]))
+            .unwrap();
+        store.flush().unwrap();
+        (store, base)
+    }
+
+    #[test]
+    fn finds_exactly_the_similar_trajectories() {
+        let (store, q) = populated_store();
+        let hits = threshold_search(&store, &q, 0.002, Measure::Frechet).unwrap();
+        let ids: Vec<u64> = hits.results.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![100, 101], "got {ids:?}");
+        // Distances are correct and within threshold.
+        for &(id, d) in &hits.results {
+            assert!(d <= 0.002, "id {id} at distance {d}");
+        }
+        assert_eq!(hits.results[0].1, 0.0, "self-match at distance 0");
+    }
+
+    #[test]
+    fn wider_threshold_finds_more() {
+        let (store, q) = populated_store();
+        let narrow = threshold_search(&store, &q, 0.002, Measure::Frechet).unwrap();
+        let wide = threshold_search(&store, &q, 0.01, Measure::Frechet).unwrap();
+        assert!(wide.results.len() > narrow.results.len());
+        let wide_ids: Vec<u64> = wide.results.iter().map(|&(id, _)| id).collect();
+        assert!(wide_ids.contains(&102));
+        assert!(!wide_ids.contains(&200), "far twin still excluded");
+    }
+
+    #[test]
+    fn results_match_brute_force() {
+        // Ground truth comparison over a generated workload.
+        let extent = trass_geo::Mbr::new(116.0, 39.6, 116.8, 40.2);
+        let store = TrajectoryStore::open(TrassConfig::for_extent(extent)).unwrap();
+        let data = trass_traj::generator::tdrive_like(7, 300);
+        store.insert_all(&data).unwrap();
+        store.flush().unwrap();
+        let queries = trass_traj::generator::sample_queries(&data, 5, 99);
+        for measure in [Measure::Frechet, Measure::Hausdorff, Measure::Dtw] {
+            for q in &queries {
+                let eps = 0.005;
+                let got = threshold_search(&store, q, eps, measure).unwrap();
+                let got_ids: Vec<u64> = got.results.iter().map(|&(id, _)| id).collect();
+                let mut expected: Vec<u64> = data
+                    .iter()
+                    .filter(|t| measure.within(q.points(), t.points(), eps))
+                    .map(|t| t.id)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(got_ids, expected, "measure {measure} query {}", q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (store, q) = populated_store();
+        let hits = threshold_search(&store, &q, 0.002, Measure::Frechet).unwrap();
+        let s = &hits.stats;
+        assert!(s.n_ranges > 0);
+        assert!(s.retrieved >= s.candidates, "retrieved {} candidates {}", s.retrieved, s.candidates);
+        assert!(s.candidates >= s.results);
+        assert_eq!(s.results, 2);
+        assert!(s.precision() > 0.0 && s.precision() <= 1.0);
+        assert!(s.io.range_scans as usize >= 1);
+    }
+
+    #[test]
+    fn zero_threshold_finds_exact_duplicates_only() {
+        let (store, q) = populated_store();
+        let hits = threshold_search(&store, &q, 0.0, Measure::Frechet).unwrap();
+        let ids: Vec<u64> = hits.results.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![100]);
+    }
+
+    #[test]
+    fn negative_threshold_rejected() {
+        let (store, q) = populated_store();
+        assert!(threshold_search(&store, &q, -1.0, Measure::Frechet).is_err());
+        assert!(threshold_search(&store, &q, f64::NAN, Measure::Frechet).is_err());
+    }
+
+    #[test]
+    fn huge_threshold_completes_within_budget() {
+        // Regression: an ε on the order of the whole space used to make
+        // Algorithm 1 visit an exponential number of elements. The node
+        // budget spills remaining subtrees into whole ranges instead.
+        let (store, q) = populated_store();
+        let t0 = std::time::Instant::now();
+        let hits = threshold_search(&store, &q, 500.0, Measure::Frechet).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(20),
+            "budget fallback failed ({:?})",
+            t0.elapsed()
+        );
+        // Everything in the store is within 500° of everything else.
+        assert_eq!(hits.results.len(), 5);
+    }
+
+    #[test]
+    fn empty_store_returns_empty() {
+        let store = TrajectoryStore::open(TrassConfig::default()).unwrap();
+        let q = traj(0, &[(10.0, 10.0), (10.1, 10.1)]);
+        let hits = threshold_search(&store, &q, 0.01, Measure::Frechet).unwrap();
+        assert!(hits.results.is_empty());
+        assert_eq!(hits.stats.results, 0);
+    }
+}

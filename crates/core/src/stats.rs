@@ -1,0 +1,84 @@
+//! Per-query accounting, matching the paper's evaluation metrics.
+
+use trass_kv::metrics::MetricsSnapshot;
+use trass_traj::TrajectoryId;
+use std::time::Duration;
+
+/// Timing and volume statistics of one similarity query.
+///
+/// The fields mirror §VI-C's metrics: `pruning_time` (global pruning),
+/// `retrieved` (rows visited by scans — the global-pruning filtration
+/// capacity), `candidates` (rows surviving local filtering — Fig. 9(b) /
+/// Fig. 10(b)), and `results` (final answers); `precision` is
+/// `results / candidates` (Fig. 11(c)).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Time spent generating scan ranges (global pruning).
+    pub pruning_time: Duration,
+    /// Time spent scanning the store, local filtering included (it runs
+    /// inside the scan, as an HBase coprocessor would).
+    pub scan_time: Duration,
+    /// Time spent computing exact similarity on the candidates.
+    pub refine_time: Duration,
+    /// Number of rowkey range scans issued.
+    pub n_ranges: usize,
+    /// Rows visited by the scans (I/O volume after global pruning).
+    pub retrieved: u64,
+    /// Rows surviving local filtering (the paper's "candidates").
+    pub candidates: u64,
+    /// Final answers.
+    pub results: u64,
+    /// Store-level I/O deltas for this query.
+    pub io: MetricsSnapshot,
+}
+
+impl QueryStats {
+    /// `results / candidates` — Fig. 11(c)'s precision (1.0 when there were
+    /// no candidates).
+    pub fn precision(&self) -> f64 {
+        if self.candidates == 0 {
+            1.0
+        } else {
+            self.results as f64 / self.candidates as f64
+        }
+    }
+
+    /// Total wall-clock time of the query.
+    pub fn total_time(&self) -> Duration {
+        self.pruning_time + self.scan_time + self.refine_time
+    }
+}
+
+/// The outcome of a similarity search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Matching trajectories. Threshold search orders by id; top-k search
+    /// orders by increasing distance.
+    pub results: Vec<(TrajectoryId, f64)>,
+    /// Query accounting.
+    pub stats: QueryStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_handles_zero_candidates() {
+        let s = QueryStats::default();
+        assert_eq!(s.precision(), 1.0);
+        let s = QueryStats { candidates: 4, results: 1, ..QueryStats::default() };
+        assert_eq!(s.precision(), 0.25);
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let s = QueryStats {
+            pruning_time: Duration::from_millis(1),
+            scan_time: Duration::from_millis(2),
+            refine_time: Duration::from_millis(3),
+            ..QueryStats::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(6));
+    }
+}

@@ -1,0 +1,284 @@
+//! The trajectory store: indexing and writing (§IV-E, Fig. 8's write path).
+
+use crate::config::TrassConfig;
+use crate::schema::{rowkey, shard_of, RowValue};
+use trass_geo::Point;
+use trass_index::xzstar::{IndexSpace, XzStar};
+use trass_kv::{Cluster, ClusterOptions, KvError};
+use trass_traj::{DpFeatures, Trajectory, TrajectoryId};
+
+/// A TraSS deployment: the XZ\* index plus the sharded KV cluster.
+///
+/// Two tables live in the deployment: the trajectory table keyed by
+/// `shard + index value + tid` (Table I) and a small id-index table
+/// (`tid → index value`) enabling point lookups, deletes, and
+/// move-aware re-inserts — the operational surface a production system
+/// needs beyond the paper's read-mostly evaluation.
+pub struct TrajectoryStore {
+    config: TrassConfig,
+    index: XzStar,
+    cluster: Cluster,
+    /// Secondary table: tid → current index value.
+    id_index: Cluster,
+}
+
+impl TrajectoryStore {
+    /// Opens a store with the given configuration.
+    pub fn open(config: TrassConfig) -> Result<Self, KvError> {
+        config
+            .validate()
+            .map_err(|m| KvError::InvalidUsage { message: m })?;
+        let cluster = Cluster::open(ClusterOptions {
+            shards: config.shards,
+            store: config.store.clone(),
+            parallel_scans: config.parallel_scans,
+        })?;
+        let mut id_store = config.store.clone();
+        if let Some(dir) = &config.store.dir {
+            id_store.dir = Some(dir.join("id-index"));
+        }
+        let id_index = Cluster::open(ClusterOptions {
+            shards: config.shards,
+            store: id_store,
+            parallel_scans: false, // point lookups only
+        })?;
+        let index = XzStar::new(config.max_resolution);
+        Ok(TrajectoryStore { config, index, cluster, id_index })
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &TrassConfig {
+        &self.config
+    }
+
+    /// The XZ\* index.
+    pub fn index(&self) -> &XzStar {
+        &self.index
+    }
+
+    /// The underlying KV cluster (exposed for metrics and experiments).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Maps a trajectory's world-space points into unit space.
+    pub fn to_unit(&self, points: &[Point]) -> Vec<Point> {
+        points.iter().map(|p| self.config.space.to_unit(p)).collect()
+    }
+
+    /// Computes the XZ\* index space of a trajectory (the write path's
+    /// "Indexing" stage in Fig. 8).
+    pub fn index_space_of(&self, traj: &Trajectory) -> IndexSpace {
+        let unit = self.to_unit(traj.points());
+        self.index.index_points(&unit)
+    }
+
+    /// The id-index key of a trajectory: `shard + tid`.
+    fn id_key(&self, tid: TrajectoryId) -> Vec<u8> {
+        let mut k = Vec::with_capacity(9);
+        k.push(shard_of(tid, self.config.shards));
+        k.extend_from_slice(&tid.to_be_bytes());
+        k
+    }
+
+    /// The current index value of a stored trajectory, if any.
+    fn stored_value_of(&self, tid: TrajectoryId) -> Result<Option<u64>, KvError> {
+        match self.id_index.get(&self.id_key(tid))? {
+            Some(bytes) if bytes.len() == 8 => {
+                Ok(Some(u64::from_le_bytes(bytes.as_ref().try_into().expect("8 bytes"))))
+            }
+            Some(_) => Err(KvError::Corruption { context: "id-index value size".into() }),
+            None => Ok(None),
+        }
+    }
+
+    /// Inserts (or replaces) one trajectory: extracts DP features, computes
+    /// the index value, and writes the row. A re-insert whose geometry
+    /// moved to a different index space removes the stale row first.
+    pub fn insert(&self, traj: &Trajectory) -> Result<(), KvError> {
+        let space = self.index_space_of(traj);
+        let value = self.index.encode(&space);
+        let shard = shard_of(traj.id, self.config.shards);
+        // Move-aware replace: drop the old row if the index value changed.
+        if let Some(old_value) = self.stored_value_of(traj.id)? {
+            if old_value != value {
+                self.cluster.delete(rowkey(shard, old_value, traj.id))?;
+            }
+        }
+        let key = rowkey(shard, value, traj.id);
+        let row = RowValue {
+            points: traj.points().to_vec(),
+            features: DpFeatures::extract(traj, self.config.dp_theta),
+        };
+        self.cluster.put(key, row.encode())?;
+        self.id_index
+            .put(self.id_key(traj.id), value.to_le_bytes().to_vec())
+    }
+
+    /// Fetches a trajectory by id.
+    pub fn get(&self, tid: TrajectoryId) -> Result<Option<Trajectory>, KvError> {
+        let Some(value) = self.stored_value_of(tid)? else { return Ok(None) };
+        let shard = shard_of(tid, self.config.shards);
+        let Some(bytes) = self.cluster.get(&rowkey(shard, value, tid))? else {
+            return Err(KvError::Corruption {
+                context: format!("id-index points at missing row for tid {tid}"),
+            });
+        };
+        let row = RowValue::decode(&bytes).map_err(|e| KvError::Corruption {
+            context: format!("row value for tid {tid}: {e}"),
+        })?;
+        Ok(Trajectory::try_new(tid, row.points))
+    }
+
+    /// Removes a trajectory by id. Returns whether it existed.
+    pub fn remove(&self, tid: TrajectoryId) -> Result<bool, KvError> {
+        let Some(value) = self.stored_value_of(tid)? else { return Ok(false) };
+        let shard = shard_of(tid, self.config.shards);
+        self.cluster.delete(rowkey(shard, value, tid))?;
+        self.id_index.delete(self.id_key(tid))?;
+        Ok(true)
+    }
+
+    /// Inserts a batch of trajectories.
+    pub fn insert_all<'a, I: IntoIterator<Item = &'a Trajectory>>(
+        &self,
+        trajectories: I,
+    ) -> Result<usize, KvError> {
+        let mut n = 0;
+        for t in trajectories {
+            self.insert(t)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Flushes all regions (mostly useful before measuring I/O).
+    pub fn flush(&self) -> Result<(), KvError> {
+        self.cluster.flush()?;
+        self.id_index.flush()
+    }
+}
+
+impl std::fmt::Debug for TrajectoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrajectoryStore")
+            .field("max_resolution", &self.config.max_resolution)
+            .field("shards", &self.config.shards)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trass_kv::KeyRange;
+
+    fn store() -> TrajectoryStore {
+        TrajectoryStore::open(TrassConfig::default()).unwrap()
+    }
+
+    fn beijing_traj(id: u64, offset: f64) -> Trajectory {
+        Trajectory::new(
+            id,
+            (0..10)
+                .map(|i| Point::new(116.30 + offset + i as f64 * 0.001, 39.90 + offset))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn insert_writes_one_row_per_trajectory() {
+        let s = store();
+        for i in 0..20 {
+            s.insert(&beijing_traj(i, i as f64 * 0.01)).unwrap();
+        }
+        s.flush().unwrap();
+        let rows = s.cluster().scan(KeyRange::all()).unwrap();
+        assert_eq!(rows.len(), 20);
+        // Every row decodes.
+        for row in &rows {
+            let parsed = crate::schema::parse_rowkey(&row.key).unwrap();
+            assert!(parsed.0 < s.config().shards);
+            let value = RowValue::decode(&row.value).unwrap();
+            assert_eq!(value.points.len(), 10);
+        }
+    }
+
+    #[test]
+    fn reinserting_same_id_overwrites() {
+        let s = store();
+        let t = beijing_traj(7, 0.0);
+        s.insert(&t).unwrap();
+        s.insert(&t).unwrap();
+        let rows = s.cluster().scan(KeyRange::all()).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn similar_trajectories_share_index_spaces() {
+        let s = store();
+        let a = beijing_traj(1, 0.0);
+        let mut b_points = a.points().to_vec();
+        for p in &mut b_points {
+            p.y += 1e-5; // nearly identical
+        }
+        let b = Trajectory::new(2, b_points);
+        let sa = s.index_space_of(&a);
+        let sb = s.index_space_of(&b);
+        assert_eq!(sa, sb, "near-identical trajectories index together");
+    }
+
+    #[test]
+    fn get_by_id_roundtrip() {
+        let s = store();
+        let t = beijing_traj(42, 0.0);
+        s.insert(&t).unwrap();
+        let got = s.get(42).unwrap().expect("present");
+        assert_eq!(got.points(), t.points());
+        assert_eq!(got.id, 42);
+        assert!(s.get(43).unwrap().is_none());
+    }
+
+    #[test]
+    fn remove_deletes_row_and_id_entry() {
+        let s = store();
+        let t = beijing_traj(7, 0.0);
+        s.insert(&t).unwrap();
+        assert!(s.remove(7).unwrap());
+        assert!(s.get(7).unwrap().is_none());
+        assert!(!s.remove(7).unwrap(), "second remove is a no-op");
+        assert!(s.cluster().scan(KeyRange::all()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn moved_reinsert_does_not_leave_stale_rows() {
+        let s = store();
+        let original = beijing_traj(9, 0.0);
+        s.insert(&original).unwrap();
+        // Same id, geometry on the other side of the city: a different
+        // index space.
+        let moved = beijing_traj(9, 0.35);
+        assert_ne!(
+            s.index_space_of(&original),
+            s.index_space_of(&moved),
+            "test requires distinct index spaces"
+        );
+        s.insert(&moved).unwrap();
+        let rows = s.cluster().scan(KeyRange::all()).unwrap();
+        assert_eq!(rows.len(), 1, "stale row left behind");
+        assert_eq!(s.get(9).unwrap().unwrap().points(), moved.points());
+    }
+
+    #[test]
+    fn insert_all_counts() {
+        let s = store();
+        let data: Vec<Trajectory> = (0..15).map(|i| beijing_traj(i, i as f64 * 0.002)).collect();
+        assert_eq!(s.insert_all(&data).unwrap(), 15);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = TrassConfig { shards: 0, ..TrassConfig::default() };
+        assert!(TrajectoryStore::open(cfg).is_err());
+    }
+}

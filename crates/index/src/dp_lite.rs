@@ -1,0 +1,72 @@
+//! Minimal Douglas-Peucker used internally by query pruning.
+//!
+//! `trass-traj` owns the full-featured DP-feature machinery; this crate
+//! only needs the raw index selection to build the Lemma 10 covering boxes
+//! without a dependency edge onto the trajectory crate.
+
+use trass_geo::{Point, Segment};
+
+/// Returns the indices Douglas-Peucker keeps at tolerance `theta`
+/// (always including the first and last point). Iterative, matching
+/// `trass_traj::dp::douglas_peucker`.
+pub fn douglas_peucker(points: &[Point], theta: f64) -> Vec<u32> {
+    assert!(!points.is_empty(), "Douglas-Peucker on empty point set");
+    let n = points.len();
+    if n <= 2 {
+        return (0..n as u32).collect();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let chord = Segment::new(points[lo], points[hi]);
+        let mut best = 0.0f64;
+        let mut best_idx = lo;
+        for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = chord.line_distance_to_point(p);
+            if d > best {
+                best = d;
+                best_idx = i;
+            }
+        }
+        if best > theta {
+            keep[best_idx] = true;
+            stack.push((lo, best_idx));
+            stack.push((best_idx, hi));
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_endpoints_and_extrema() {
+        let pts: Vec<Point> = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 5.0),
+            Point::new(2.0, -5.0),
+            Point::new(3.0, 0.0),
+        ];
+        let kept = douglas_peucker(&pts, 0.5);
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+        let coarse = douglas_peucker(&pts, 100.0);
+        assert_eq!(coarse, vec![0, 3]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let p = Point::new(1.0, 1.0);
+        assert_eq!(douglas_peucker(&[p], 0.1), vec![0]);
+        assert_eq!(douglas_peucker(&[p, p], 0.1), vec![0, 1]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Spatial indexes for trajectory data on key-value stores.
+//!
+//! This crate contains the paper's primary contribution and its
+//! comparators:
+//!
+//! * [`quad`] — quadrant sequences and quad-tree cells over the unit square
+//!   (the shared foundation; §IV-B "Quadrant Sequence").
+//! * [`xzstar`] — the **XZ\*** index: enlarged elements, position codes,
+//!   the bijective integer encoding `V(s, p)` (§IV-B/C), global pruning
+//!   (Lemmas 6–11, Algorithm 1) and the best-first traversal used by top-k
+//!   search (Algorithm 4).
+//! * [`xz2`] — classic XZ-Ordering (Böhm et al.), the index GeoMesa/JUST
+//!   use; the baseline the paper's I/O-reduction numbers are measured
+//!   against.
+//! * [`rtree`] — an in-memory R-tree used by the DFT-like baseline and as a
+//!   general substrate.
+//! * [`ranges`] — coalescing of index values into contiguous scan ranges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub(crate) mod dp_lite;
+pub mod quad;
+pub mod ranges;
+pub mod rtree;
+pub mod xz2;
+pub mod xzstar;
+
+pub use quad::Cell;
+pub use ranges::ValueRange;
+pub use xzstar::{IndexSpace, PositionCode, XzStar};

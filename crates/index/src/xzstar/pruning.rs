@@ -1,0 +1,523 @@
+//! Global pruning (§V-C, Algorithm 1).
+//!
+//! Given a query trajectory and a threshold ε, global pruning walks the
+//! element tree from the root and produces the index values whose spaces
+//! could still contain similar trajectories:
+//!
+//! * **Lemmas 6–7** bound the useful resolutions to `[MinR, MaxR]`:
+//!   elements much larger or much smaller than the query cannot hold
+//!   similar trajectories.
+//! * **Lemma 8** prunes subtrees whose enlarged element misses
+//!   `Ext(Q.MBR, ε)` entirely.
+//! * **Lemma 9** prunes subtrees by `minDistEE` (Definition 10): the
+//!   largest, over the query MBR's four edges, of the minimum distance from
+//!   that edge to the element — a lower bound on the similarity distance,
+//!   monotone down the tree.
+//! * **Lemma 10** drops position codes containing a sub-quad farther than ε
+//!   from the query's point set.
+//! * **Lemma 11** drops index spaces by `minDistIS` (Definition 11), the
+//!   edge-based bound against the code's quad union.
+//!
+//! Lemmas are evaluated cheap-first, exactly as §V-E prescribes.
+
+use super::position_code::{PositionCode, QuadSet};
+use super::{IndexSpace, XzStar};
+use crate::quad::Cell;
+use crate::ranges::{coalesce, ValueRange};
+use std::collections::VecDeque;
+use trass_geo::{Mbr, OrientedBox, Point};
+
+/// Absolute slack added to every rejection comparison: pruning may only
+/// drop a space when the lower bound *certainly* exceeds ε, and oriented
+/// box arithmetic leaves ~1e-16 residue that would otherwise break exact
+/// (ε = 0) queries.
+pub(crate) const PRUNE_SLACK: f64 = 1e-12;
+
+/// Tuning and ablation switches for global pruning.
+#[derive(Debug, Clone, Copy)]
+pub struct PruningConfig {
+    /// Coalescing gap when turning values into scan ranges (0 = only merge
+    /// strictly adjacent values).
+    pub range_gap: u64,
+    /// Apply position-code filtering (Lemmas 10–11). Disabling reduces XZ\*
+    /// to element-granularity pruning — the ablation of §VI-D.
+    pub use_position_codes: bool,
+    /// Apply the distance bounds (Lemmas 9 and 11). Disabling leaves only
+    /// intersection tests (Lemma 8) and the resolution band.
+    pub use_min_dist: bool,
+    /// Traversal budget in visited elements. Pathological queries (ε on
+    /// the order of the whole space) would otherwise visit an exponential
+    /// number of elements; past the budget, remaining subtrees are emitted
+    /// as whole contiguous value ranges — a sound superset that trades
+    /// scan precision for bounded planning time.
+    pub node_budget: usize,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig {
+            range_gap: 0,
+            use_position_codes: true,
+            use_min_dist: true,
+            node_budget: 1 << 16,
+        }
+    }
+}
+
+/// Pre-computed per-query state shared by threshold and top-k search.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    /// Query MBR in unit space.
+    pub mbr: Mbr,
+    /// `Ext(Q.MBR, ε)` (Definition 7).
+    pub ext_mbr: Mbr,
+    /// Query points in unit space.
+    pub points: Vec<Point>,
+    /// Threshold in unit space.
+    pub eps: f64,
+    /// Lemma 6 resolution floor.
+    pub min_r: u8,
+    /// Lemma 7 resolution ceiling.
+    pub max_r: u8,
+    /// Covering boxes of the query (a coarse Douglas-Peucker pass): every
+    /// query point lies inside their union, so a distance to the union
+    /// lower-bounds the distance to the point set. Lemma 10 evaluates
+    /// against these instead of the raw points — same soundness, O(boxes)
+    /// instead of O(points) per sub-quad.
+    pub cover_boxes: Vec<OrientedBox>,
+}
+
+impl QueryContext {
+    /// Builds the context for unit-space query points and threshold.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `eps` is negative/NaN.
+    pub fn new(index: &XzStar, points: Vec<Point>, eps: f64) -> Self {
+        assert!(!points.is_empty(), "empty query trajectory");
+        assert!(eps >= 0.0, "negative or NaN threshold");
+        let mbr = Mbr::from_points(points.iter()).expect("non-empty");
+        let ext_mbr = mbr.extended(eps);
+        let min_r = index.sequence_length(&ext_mbr);
+        let max_r = max_resolution_bound(index, &mbr, eps);
+        // Tolerance floor at a quarter of the finest cell: finer boxes buy
+        // no pruning power and explode the box count for tiny ε.
+        let theta = (eps / 4.0).max(0.5f64.powi(index.max_resolution() as i32) / 4.0);
+        let cover_boxes = cover_boxes(&points, theta);
+        QueryContext { mbr, ext_mbr, points, eps, min_r, max_r, cover_boxes }
+    }
+}
+
+/// Builds a small set of oriented boxes covering every point of `points`,
+/// via a coarse Douglas-Peucker pass at tolerance `theta` (callers keep
+/// the slack well below their pruning threshold).
+pub(crate) fn cover_boxes(points: &[Point], theta: f64) -> Vec<OrientedBox> {
+    if points.len() < 2 {
+        return Vec::new();
+    }
+    let rep = crate::dp_lite::douglas_peucker(points, theta.max(1e-12));
+    let mut boxes = Vec::with_capacity(rep.len().saturating_sub(1));
+    for w in rep.windows(2) {
+        let (s, e) = (w[0] as usize, w[1] as usize);
+        if let Some(b) =
+            OrientedBox::from_points_along(points[s], points[e], &points[s..=e])
+        {
+            boxes.push(b);
+        }
+    }
+    boxes
+}
+
+/// Lemma 10 distance: a lower bound on `min_{q ∈ Q} d(q, rect)`, computed
+/// against the query's covering boxes (or the raw points when no boxes
+/// exist). Marking a quad "far" requires certainty that the true distance
+/// exceeds ε; a lower bound gives exactly that.
+pub(crate) fn query_dist_to_rect_lb(ctx: &QueryContext, rect: &Mbr) -> f64 {
+    if ctx.cover_boxes.is_empty() {
+        return min_point_dist_to_rect(&ctx.points, rect);
+    }
+    let rect_box = OrientedBox::from_mbr(rect);
+    ctx.cover_boxes
+        .iter()
+        .map(|b| b.distance_to_box(&rect_box))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Definition 9 / Lemma 7: the largest resolution whose enlarged elements
+/// can still hold trajectories similar to a query with the given MBR.
+pub(crate) fn max_resolution_bound(index: &XzStar, query_mbr: &Mbr, eps: f64) -> u8 {
+    let r = index.max_resolution();
+    if !eps.is_finite() {
+        return r;
+    }
+    // Need an EE of size 2·0.5^res with (max_dim − 2·0.5^res)/2 ≤ ε,
+    // i.e. 0.5^res ≥ t where t = max_dim/2 − ε.
+    let t = query_mbr.width().max(query_mbr.height()) / 2.0 - eps;
+    if t <= 0.0 {
+        return r;
+    }
+    let mut max_r = (t.ln() / 0.5f64.ln()).floor();
+    if max_r < 0.0 {
+        return 0;
+    }
+    if max_r >= r as f64 {
+        return r;
+    }
+    // Guard the floating-point floor against boundary error.
+    while max_r > 0.0 && 0.5f64.powi(max_r as i32) < t {
+        max_r -= 1.0;
+    }
+    max_r as u8
+}
+
+/// Definition 10: `minDistEE` — the largest, over the four edges of the
+/// query MBR, of the minimum distance from that edge to `region`. Each MBR
+/// edge is guaranteed to carry a trajectory point, so this lower-bounds the
+/// similarity distance to any trajectory inside `region` (Lemma 9).
+pub fn min_dist_ee(query_mbr: &Mbr, region: &Mbr) -> f64 {
+    query_mbr
+        .edges()
+        .iter()
+        .map(|edge| region.distance_to_segment(edge))
+        .fold(0.0f64, f64::max)
+}
+
+/// Definition 11: `minDistIS` against a union of rectangles (the quads of
+/// one index space).
+pub fn min_dist_is(query_mbr: &Mbr, rects: &[Mbr]) -> f64 {
+    query_mbr
+        .edges()
+        .iter()
+        .map(|edge| {
+            rects
+                .iter()
+                .map(|r| r.distance_to_segment(edge))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Lemma 10 helper: minimum distance from the query's *point set* to a
+/// rectangle.
+pub(crate) fn min_point_dist_to_rect(points: &[Point], rect: &Mbr) -> f64 {
+    points
+        .iter()
+        .map(|p| rect.distance_sq_to_point(p))
+        .fold(f64::INFINITY, f64::min)
+        .sqrt()
+}
+
+/// The global pruning engine.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalPruning<'a> {
+    index: &'a XzStar,
+    config: PruningConfig,
+}
+
+impl<'a> GlobalPruning<'a> {
+    /// Creates a pruning engine over `index`.
+    pub fn new(index: &'a XzStar, config: PruningConfig) -> Self {
+        GlobalPruning { index, config }
+    }
+
+    /// Algorithm 1: the candidate index values for a query context,
+    /// unsorted. Exact (no traversal budget) — prefer
+    /// [`GlobalPruning::query_ranges`] in query paths.
+    pub fn query_values(&self, q: &QueryContext) -> Vec<u64> {
+        let (values, spill) = self.traverse(q, usize::MAX);
+        debug_assert!(spill.is_empty());
+        values
+    }
+
+    /// Candidate values coalesced into contiguous scan ranges, respecting
+    /// the traversal budget.
+    pub fn query_ranges(&self, q: &QueryContext) -> Vec<ValueRange> {
+        let (values, mut ranges) = self.traverse(q, self.config.node_budget);
+        ranges.extend(coalesce(values, self.config.range_gap));
+        ranges.sort_by_key(|r| r.start);
+        let mut out: Vec<ValueRange> = Vec::new();
+        for r in ranges {
+            match out.last_mut() {
+                Some(last) if r.start <= last.end.saturating_add(self.config.range_gap + 1) => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => out.push(r),
+            }
+        }
+        out
+    }
+
+    /// BFS core: returns exact candidate values plus whole-subtree spill
+    /// ranges for anything past `budget` visited elements.
+    fn traverse(&self, q: &QueryContext, budget: usize) -> (Vec<u64>, Vec<ValueRange>) {
+        let mut out = Vec::new();
+        let mut spill = Vec::new();
+        let mut visited = 0usize;
+        let mut queue = VecDeque::new();
+        queue.push_back(Cell::ROOT);
+        while let Some(cell) = queue.pop_front() {
+            let ee = cell.enlarged();
+            // Lemma 8 (cheap intersection), then Lemma 9 (edge distances).
+            if !ee.intersects(&q.ext_mbr) {
+                continue;
+            }
+            if self.config.use_min_dist && min_dist_ee(&q.mbr, &ee) > q.eps + PRUNE_SLACK {
+                continue;
+            }
+            visited += 1;
+            if visited > budget {
+                // Sound fallback: the whole subtree as one scan range.
+                let (start, end) = self.index.subtree_range(&cell);
+                spill.push(ValueRange { start, end });
+                continue;
+            }
+            if cell.level >= q.min_r && cell.level <= q.max_r {
+                self.emit_codes(&cell, q, &mut out);
+            }
+            if cell.level < q.max_r && cell.level < self.index.max_resolution() {
+                queue.extend(cell.children());
+            }
+        }
+        (out, spill)
+    }
+
+    fn emit_codes(&self, cell: &Cell, q: &QueryContext, out: &mut Vec<u64>) {
+        let rects = XzStar::quad_rects(cell);
+        let at_max = cell.level == self.index.max_resolution();
+        // Lemma 10: which quads are too far from the query's points?
+        let far = if self.config.use_position_codes {
+            let mut far = QuadSet::EMPTY;
+            for (i, rect) in rects.iter().enumerate() {
+                if query_dist_to_rect_lb(q, rect) > q.eps + PRUNE_SLACK {
+                    far = far.union(QuadSet(1 << i));
+                }
+            }
+            far
+        } else {
+            QuadSet::EMPTY
+        };
+        for code in PositionCode::all(at_max) {
+            if self.config.use_position_codes {
+                if code.quads().intersects(far) {
+                    continue; // Lemma 10
+                }
+                if self.config.use_min_dist {
+                    let is_rects: Vec<Mbr> = code
+                        .quads()
+                        .iter()
+                        .map(|s| rects[s.quad_index().expect("singleton")])
+                        .collect();
+                    if min_dist_is(&q.mbr, &is_rects) > q.eps + PRUNE_SLACK {
+                        continue; // Lemma 11
+                    }
+                }
+            }
+            out.push(self.index.encode(&IndexSpace { cell: *cell, code }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn min_dist_ee_zero_when_mbr_inside() {
+        let q = Mbr::new(0.3, 0.3, 0.4, 0.4);
+        let region = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(min_dist_ee(&q, &region), 0.0);
+    }
+
+    #[test]
+    fn min_dist_ee_for_centered_small_region() {
+        // Fig. 6(b): a small EE centered in the query MBR leaves the MBR's
+        // edges at distance (dim - ee_dim) / 2.
+        let q = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        let ee = Mbr::new(0.4, 0.4, 0.6, 0.6);
+        let d = min_dist_ee(&q, &ee);
+        assert!((d - 0.4).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn min_dist_ee_for_far_region() {
+        let q = Mbr::new(0.0, 0.0, 0.1, 0.1);
+        let ee = Mbr::new(0.5, 0.0, 0.6, 0.1);
+        // Every edge of q is at least 0.4 away horizontally; the left edge
+        // is 0.5 away.
+        let d = min_dist_ee(&q, &ee);
+        assert!((d - 0.5).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn min_dist_is_uses_union() {
+        let q = Mbr::new(0.0, 0.0, 0.2, 0.2);
+        let near = Mbr::new(0.25, 0.0, 0.3, 0.2);
+        let far = Mbr::new(0.9, 0.9, 1.0, 1.0);
+        // With both rects, each edge's distance is to the nearest rect.
+        let with_near = min_dist_is(&q, &[near, far]);
+        let only_far = min_dist_is(&q, &[far]);
+        assert!(with_near < only_far);
+    }
+
+    #[test]
+    fn max_resolution_bound_cases() {
+        let index = XzStar::new(16);
+        // Point query: no lower size bound → full depth.
+        let point = Mbr::new(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(max_resolution_bound(&index, &point, 0.001), 16);
+        // Large query, tiny eps: deep elements are impossible.
+        let big = Mbr::new(0.0, 0.0, 0.5, 0.5);
+        let bound = max_resolution_bound(&index, &big, 1e-6);
+        assert!(bound <= 3, "bound = {bound}");
+        // EE at the bound really is big enough; one deeper is not.
+        let t = 0.25 - 1e-6;
+        assert!(0.5f64.powi(bound as i32) >= t);
+        assert!(0.5f64.powi(bound as i32 + 1) < t);
+        // Infinite eps → unbounded.
+        assert_eq!(max_resolution_bound(&index, &big, f64::INFINITY), 16);
+    }
+
+    #[test]
+    fn query_band_always_contains_query_own_space() {
+        // MinR <= L_Q <= MaxR must hold, else the query's twin would be
+        // missed (soundness argument in DESIGN.md).
+        let index = XzStar::new(16);
+        let shapes = [
+            pts(&[(0.2, 0.2), (0.21, 0.23), (0.22, 0.2)]),
+            pts(&[(0.1, 0.1), (0.4, 0.45)]),
+            pts(&[(0.5, 0.5)]),
+            pts(&[(0.01, 0.01), (0.9, 0.95)]),
+        ];
+        for points in shapes {
+            for eps in [0.0, 1e-5, 1e-3, 0.05] {
+                let q = QueryContext::new(&index, points.clone(), eps);
+                let own = index.index_points(&points);
+                assert!(
+                    q.min_r <= own.cell.level && own.cell.level <= q.max_r,
+                    "band [{}, {}] misses own level {} (eps {eps})",
+                    q.min_r,
+                    q.max_r,
+                    own.cell.level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_always_keeps_identical_trajectory() {
+        // Soundness: the query's own index value must survive pruning.
+        let index = XzStar::new(12);
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let shapes = [
+            pts(&[(0.31, 0.42), (0.33, 0.45), (0.36, 0.41)]),
+            pts(&[(0.7, 0.1), (0.7, 0.3)]),
+            pts(&[(0.111, 0.222)]),
+            pts(&[(0.05, 0.05), (0.5, 0.06), (0.9, 0.05)]),
+        ];
+        for points in shapes {
+            for eps in [0.0, 1e-4, 0.01] {
+                let own = index.encode(&index.index_points(&points));
+                let q = QueryContext::new(&index, points.clone(), eps);
+                let values = pruner.query_values(&q);
+                assert!(
+                    values.contains(&own),
+                    "own value {own} pruned (eps {eps}, points {points:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_excludes_far_spaces() {
+        let index = XzStar::new(10);
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let query = pts(&[(0.1, 0.1), (0.12, 0.12)]);
+        let q = QueryContext::new(&index, query, 0.001);
+        let values = pruner.query_values(&q);
+        // A trajectory in the far corner must not be in the candidate set.
+        let far = index.encode(&index.index_points(&pts(&[(0.9, 0.9), (0.92, 0.92)])));
+        assert!(!values.contains(&far));
+        // Candidate count is a tiny fraction of the total space.
+        assert!(
+            (values.len() as u64) < index.total_values() / 1000,
+            "{} candidates",
+            values.len()
+        );
+    }
+
+    #[test]
+    fn position_codes_tighten_the_candidate_set() {
+        let index = XzStar::new(10);
+        let full = GlobalPruning::new(&index, PruningConfig::default());
+        let no_codes = GlobalPruning::new(
+            &index,
+            PruningConfig { use_position_codes: false, ..PruningConfig::default() },
+        );
+        let query = pts(&[(0.31, 0.42), (0.33, 0.45), (0.36, 0.41)]);
+        let q = QueryContext::new(&index, query, 0.002);
+        let tight = full.query_values(&q);
+        let loose = no_codes.query_values(&q);
+        assert!(tight.len() < loose.len(), "tight {} loose {}", tight.len(), loose.len());
+        // The tight set is a subset of the loose one.
+        let loose_set: std::collections::HashSet<u64> = loose.into_iter().collect();
+        assert!(tight.iter().all(|v| loose_set.contains(v)));
+    }
+
+    #[test]
+    fn larger_eps_never_shrinks_candidates() {
+        let index = XzStar::new(10);
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let query = pts(&[(0.25, 0.25), (0.27, 0.28), (0.3, 0.26)]);
+        let mut prev: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for eps in [1e-5, 1e-4, 1e-3, 1e-2] {
+            let q = QueryContext::new(&index, query.clone(), eps);
+            let values: std::collections::HashSet<u64> =
+                pruner.query_values(&q).into_iter().collect();
+            assert!(
+                prev.is_subset(&values),
+                "candidates lost when eps grew to {eps}"
+            );
+            prev = values;
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let index = XzStar::new(10);
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let query = pts(&[(0.4, 0.4), (0.42, 0.44)]);
+        let q = QueryContext::new(&index, query, 0.005);
+        let values = pruner.query_values(&q);
+        let ranges = pruner.query_ranges(&q);
+        for v in &values {
+            assert!(ranges.iter().any(|r| r.contains(*v)), "value {v} lost");
+        }
+        // Ranges are fewer than values (encoding continuity pays off).
+        assert!(ranges.len() <= values.len());
+    }
+
+    #[test]
+    fn huge_trajectory_stays_retrievable() {
+        // A trajectory spanning most of the space lands at level 1 (a
+        // level-1 enlarged element anchored at the lower-left cell covers
+        // the whole unit square, so level 0 never occurs for clamped
+        // inputs) and must be discoverable by an equally huge query.
+        let index = XzStar::new(8);
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let giant = pts(&[(0.05, 0.05), (0.5, 0.6), (0.95, 0.9)]);
+        let own_space = index.index_points(&giant);
+        assert!(own_space.cell.level <= 1, "level {}", own_space.cell.level);
+        let own = index.encode(&own_space);
+        let q = QueryContext::new(&index, giant, 0.01);
+        assert!(pruner.query_values(&q).contains(&own));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query")]
+    fn empty_query_rejected() {
+        QueryContext::new(&XzStar::new(8), vec![], 0.1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Best-first traversal for top-k search (§V-E, Algorithm 4).
+//!
+//! Top-k search has no threshold up front; it discovers index spaces in
+//! increasing `minDistIS` order, letting the caller tighten ε as results
+//! accumulate. [`BestFirst`] maintains the paper's two priority queues —
+//! `EQ` over enlarged elements (by `minDistEE`) and `IQ` over index spaces
+//! (by `minDistIS`) — and interleaves them so a space is only emitted once
+//! no unexpanded element could produce a nearer one.
+
+use super::position_code::{PositionCode, QuadSet};
+use super::pruning::{cover_boxes, max_resolution_bound, min_dist_ee, min_dist_is, min_point_dist_to_rect, PRUNE_SLACK};
+use super::{IndexSpace, XzStar};
+use crate::quad::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use trass_geo::{Mbr, Point};
+
+/// An `f64` with a total order (inputs are guaranteed non-NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+    }
+}
+
+/// An index space surfaced by the traversal, with its lower-bound distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceCandidate {
+    /// Encoded index value (the rowkey component).
+    pub value: u64,
+    /// The decoded index space.
+    pub space: IndexSpace,
+    /// `minDistIS(Q, space)` — a lower bound on the similarity distance of
+    /// any trajectory stored under this space.
+    pub dist: f64,
+}
+
+/// Best-first enumerator of index spaces by increasing `minDistIS`.
+pub struct BestFirst<'a> {
+    index: &'a XzStar,
+    q_mbr: Mbr,
+    points: Vec<Point>,
+    /// Lemma 10 covering boxes (see `pruning::cover_boxes`). Built with the
+    /// tightest tolerance since ε is unknown up front.
+    boxes: Vec<trass_geo::OrientedBox>,
+    /// Elements pending expansion, keyed by `minDistEE`.
+    eq: BinaryHeap<Reverse<(OrdF64, Cell)>>,
+    /// Index spaces pending emission, keyed by `minDistIS`.
+    iq: BinaryHeap<Reverse<(OrdF64, u64)>>,
+}
+
+impl<'a> BestFirst<'a> {
+    /// Starts a traversal for the given unit-space query points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn new(index: &'a XzStar, points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "empty query trajectory");
+        let q_mbr = Mbr::from_points(points.iter()).expect("non-empty");
+        let mut eq = BinaryHeap::new();
+        eq.push(Reverse((OrdF64(min_dist_ee(&q_mbr, &Cell::ROOT.enlarged())), Cell::ROOT)));
+        // Coarse covering boxes: a quarter of the finest cell is the
+        // tightest tolerance that can ever matter for quad pruning.
+        let boxes = cover_boxes(&points, 0.5f64.powi(index.max_resolution() as i32) / 4.0);
+        BestFirst { index, q_mbr, points, boxes, eq, iq: BinaryHeap::new() }
+    }
+
+    /// Lemma 10 lower bound against the covering boxes (points fallback).
+    fn dist_to_rect_lb(&self, rect: &Mbr) -> f64 {
+        if self.boxes.is_empty() {
+            return min_point_dist_to_rect(&self.points, rect);
+        }
+        let rect_box = trass_geo::OrientedBox::from_mbr(rect);
+        self.boxes
+            .iter()
+            .map(|b| b.distance_to_box(&rect_box))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Pops the nearest index space whose lower-bound distance is `<= eps`.
+    /// `eps` is the caller's current pruning bound (`f64::INFINITY` until k
+    /// results exist); it may tighten between calls but must never loosen.
+    /// Returns `None` when no remaining space can beat `eps`.
+    pub fn next_space(&mut self, eps: f64) -> Option<SpaceCandidate> {
+        let min_r = if eps.is_finite() {
+            self.index.sequence_length(&self.q_mbr.extended(eps))
+        } else {
+            0
+        };
+        let max_r = max_resolution_bound(self.index, &self.q_mbr, eps);
+        loop {
+            // Expand elements while the nearest unexpanded element could
+            // still yield a space nearer than the best queued space.
+            while let Some(&Reverse((OrdF64(e_dist), cell))) = self.eq.peek() {
+                if e_dist > eps {
+                    self.eq.clear(); // everything left is worse
+                    break;
+                }
+                if let Some(&Reverse((OrdF64(s_dist), _))) = self.iq.peek() {
+                    if s_dist <= e_dist {
+                        break;
+                    }
+                }
+                self.eq.pop();
+                self.expand(cell, eps, min_r, max_r);
+            }
+            let Reverse((OrdF64(dist), value)) = self.iq.pop()?;
+            if dist > eps {
+                // All remaining spaces are at least this far.
+                self.iq.clear();
+                return None;
+            }
+            let space = self.index.decode(value).expect("queued values decode");
+            // ε may have tightened since this space was queued; re-check
+            // the resolution band (Lemmas 6–7 at the current ε).
+            if space.cell.level < min_r || space.cell.level > max_r {
+                continue;
+            }
+            return Some(SpaceCandidate { value, space, dist });
+        }
+    }
+
+    fn expand(&mut self, cell: Cell, eps: f64, min_r: u8, max_r: u8) {
+        let rects = XzStar::quad_rects(&cell);
+        // Queue this element's index spaces (Lemmas 6, 7, 10, 11).
+        if cell.level >= min_r && cell.level <= max_r {
+            let at_max = cell.level == self.index.max_resolution();
+            let mut far = QuadSet::EMPTY;
+            for (i, rect) in rects.iter().enumerate() {
+                if self.dist_to_rect_lb(rect) > eps + PRUNE_SLACK {
+                    far = far.union(QuadSet(1 << i));
+                }
+            }
+            for code in PositionCode::all(at_max) {
+                if code.quads().intersects(far) {
+                    continue;
+                }
+                let is_rects: Vec<Mbr> = code
+                    .quads()
+                    .iter()
+                    .map(|s| rects[s.quad_index().expect("singleton")])
+                    .collect();
+                let dist = min_dist_is(&self.q_mbr, &is_rects);
+                if dist <= eps {
+                    let value = self.index.encode(&IndexSpace { cell, code });
+                    self.iq.push(Reverse((OrdF64(dist), value)));
+                }
+            }
+        }
+        // Queue children (Lemmas 8–9 via minDistEE).
+        if cell.level < max_r && cell.level < self.index.max_resolution() {
+            for child in cell.children() {
+                let dist = min_dist_ee(&self.q_mbr, &child.enlarged());
+                if dist <= eps {
+                    self.eq.push(Reverse((OrdF64(dist), child)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn emits_spaces_in_nondecreasing_distance_order() {
+        let index = XzStar::new(8);
+        let mut bf = BestFirst::new(&index, pts(&[(0.3, 0.3), (0.32, 0.34)]));
+        let mut last = 0.0f64;
+        let mut count = 0;
+        while let Some(c) = bf.next_space(f64::INFINITY) {
+            assert!(c.dist >= last - 1e-12, "order violated: {} after {}", c.dist, last);
+            last = c.dist;
+            count += 1;
+            if count >= 200 {
+                break;
+            }
+        }
+        assert!(count >= 200, "traversal starved early at {count}");
+    }
+
+    #[test]
+    fn first_spaces_include_the_query_own_space() {
+        let index = XzStar::new(8);
+        let points = pts(&[(0.52, 0.41), (0.55, 0.44), (0.58, 0.42)]);
+        let own = index.encode(&index.index_points(&points));
+        let mut bf = BestFirst::new(&index, points);
+        let mut found = false;
+        for _ in 0..100 {
+            match bf.next_space(f64::INFINITY) {
+                Some(c) if c.value == own => {
+                    assert_eq!(c.dist, 0.0, "own space has zero lower bound");
+                    found = true;
+                    break;
+                }
+                Some(c) => assert_eq!(c.dist, 0.0, "own space must precede nonzero spaces"),
+                None => break,
+            }
+        }
+        assert!(found, "own space never emitted");
+    }
+
+    #[test]
+    fn tightening_eps_terminates_enumeration() {
+        let index = XzStar::new(8);
+        let mut bf = BestFirst::new(&index, pts(&[(0.2, 0.2), (0.22, 0.21)]));
+        // Consume a few spaces at infinite eps.
+        for _ in 0..5 {
+            assert!(bf.next_space(f64::INFINITY).is_some());
+        }
+        // A very tight eps must end the stream quickly (only zero-distance
+        // spaces survive, and they are finitely many).
+        let mut remaining = 0;
+        while let Some(c) = bf.next_space(1e-9) {
+            assert!(c.dist <= 1e-9);
+            remaining += 1;
+            assert!(remaining < 1000, "stream failed to terminate");
+        }
+    }
+
+    #[test]
+    fn no_space_farther_than_eps_is_emitted() {
+        let index = XzStar::new(8);
+        let mut bf = BestFirst::new(&index, pts(&[(0.7, 0.7)]));
+        while let Some(c) = bf.next_space(0.05) {
+            assert!(c.dist <= 0.05);
+        }
+    }
+
+    #[test]
+    fn matches_global_pruning_at_fixed_eps() {
+        // The set of spaces best-first emits under a fixed eps must equal
+        // the set Algorithm 1 computes for that eps.
+        use super::super::pruning::{GlobalPruning, PruningConfig, QueryContext};
+        let index = XzStar::new(8);
+        let points = pts(&[(0.41, 0.33), (0.44, 0.37), (0.46, 0.33)]);
+        let eps = 0.004;
+
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let ctx = QueryContext::new(&index, points.clone(), eps);
+        let mut expected = pruner.query_values(&ctx);
+        expected.sort_unstable();
+
+        let mut bf = BestFirst::new(&index, points);
+        let mut got = Vec::new();
+        while let Some(c) = bf.next_space(eps) {
+            got.push(c.value);
+        }
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bloom filter for SSTable point lookups.
+//!
+//! Standard double-hashing construction (Kirsch–Mitzenmacher): two base
+//! hashes combined as `h1 + i·h2` simulate `k` independent hash functions.
+//! Sized by bits-per-key like LevelDB's filter policy.
+
+/// A serializable bloom filter over byte keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u8,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Builds a filter over `keys` with roughly `bits_per_key` bits per key.
+    pub fn build<'a, I>(keys: I, n_keys: usize, bits_per_key: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        // k ≈ bits_per_key * ln2 rounded, clamped to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as u8).clamp(1, 30);
+        let n_bits = (n_keys * bits_per_key).max(64);
+        let n_bytes = n_bits.div_ceil(8);
+        let mut bits = vec![0u8; n_bytes];
+        let n_bits = n_bytes * 8;
+        for key in keys {
+            let h1 = fnv1a(key, 0);
+            let h2 = fnv1a(key, 1) | 1; // odd step to cover all positions
+            let mut h = h1;
+            for _ in 0..k {
+                let bit = (h % n_bits as u64) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(h2);
+            }
+        }
+        BloomFilter { bits, k }
+    }
+
+    /// Returns `false` when `key` is definitely absent; `true` when it *may*
+    /// be present.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let n_bits = self.bits.len() * 8;
+        if n_bits == 0 {
+            return true;
+        }
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 1) | 1;
+        let mut h = h1;
+        for _ in 0..self.k {
+            let bit = (h % n_bits as u64) as usize;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(h2);
+        }
+        true
+    }
+
+    /// Serializes the filter: `[k: u8][bits...]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.bits.len());
+        out.push(self.k);
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserializes a filter written by [`BloomFilter::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let (&k, bits) = buf.split_first()?;
+        if k == 0 || k > 30 {
+            return None;
+        }
+        Some(BloomFilter { bits: bits.to_vec(), k })
+    }
+
+    /// Size of the encoded filter in bytes.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        for k in &ks {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            let k = format!("absent-{i:08}").into_bytes();
+            if f.may_contain(&k) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // 10 bits/key should give ~1 %; allow generous slack.
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ks = keys(100);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 8);
+        let enc = f.encode();
+        assert_eq!(enc.len(), f.encoded_len());
+        let g = BloomFilter::decode(&enc).unwrap();
+        assert_eq!(f, g);
+        for k in &ks {
+            assert!(g.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        assert!(BloomFilter::decode(&[0, 1, 2]).is_none()); // k = 0
+        assert!(BloomFilter::decode(&[200, 1, 2]).is_none()); // k too large
+    }
+
+    #[test]
+    fn empty_key_set() {
+        let f = BloomFilter::build(std::iter::empty(), 0, 10);
+        // May return false for anything — but must not panic.
+        let _ = f.may_contain(b"whatever");
+    }
+}

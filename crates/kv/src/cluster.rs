@@ -1,0 +1,354 @@
+//! Sharded multi-region cluster emulation.
+//!
+//! The paper's deployment spreads trajectories over HBase regions via a
+//! hash *shard* prefix in the rowkey (§IV-E): `rowkey = shard + index value
+//! + tid`. The [`Cluster`] reproduces that topology as one [`LsmStore`] per
+//! shard, routed by the first key byte. Scans over multiple key ranges fan
+//! out across the owning regions — optionally on parallel threads, standing
+//! in for the evaluation's five region servers — and filter push-down runs
+//! inside each region, as a coprocessor would.
+
+use crate::error::{KvError, Result};
+use crate::filter::{KeepAll, ScanFilter};
+use crate::metrics::MetricsSnapshot;
+use crate::store::{LsmStore, StoreOptions};
+use crate::types::{Entry, KeyRange};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Cluster topology and per-region store tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Number of shards (regions). The first byte of every rowkey must be
+    /// in `0..shards`.
+    pub shards: u8,
+    /// Options applied to each region's store. When `dir` is set, region
+    /// `i` stores under `dir/region-<i>`.
+    pub store: StoreOptions,
+    /// Fan scans out across OS threads, one per involved region.
+    pub parallel_scans: bool,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions { shards: 8, store: StoreOptions::default(), parallel_scans: true }
+    }
+}
+
+impl ClusterOptions {
+    /// In-memory cluster with `shards` regions.
+    pub fn in_memory(shards: u8) -> Self {
+        ClusterOptions { shards, ..Self::default() }
+    }
+}
+
+/// A sharded key-value cluster.
+pub struct Cluster {
+    regions: Vec<Arc<LsmStore>>,
+    opts: ClusterOptions,
+}
+
+impl Cluster {
+    /// Opens a cluster with the given topology.
+    pub fn open(opts: ClusterOptions) -> Result<Self> {
+        if opts.shards == 0 {
+            return Err(KvError::invalid("cluster requires at least one shard"));
+        }
+        let mut regions = Vec::with_capacity(opts.shards as usize);
+        for i in 0..opts.shards {
+            let mut store_opts = opts.store.clone();
+            if let Some(dir) = &opts.store.dir {
+                store_opts.dir = Some(dir.join(format!("region-{i}")));
+            }
+            regions.push(Arc::new(LsmStore::open(store_opts)?));
+        }
+        Ok(Cluster { regions, opts })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u8 {
+        self.opts.shards
+    }
+
+    fn region_of(&self, key: &[u8]) -> Result<&Arc<LsmStore>> {
+        let shard = *key.first().ok_or_else(|| KvError::invalid("empty rowkey"))?;
+        self.regions
+            .get(shard as usize)
+            .ok_or_else(|| KvError::invalid(format!("shard {shard} out of range")))
+    }
+
+    /// Writes a row; the first key byte selects the shard.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        self.region_of(&key)?.put(key, value.into())
+    }
+
+    /// Deletes a row.
+    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        self.region_of(&key)?.delete(key)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.region_of(key)?.get(key)
+    }
+
+    /// Scans a single key range (which must not cross shards — the schema's
+    /// shard prefix guarantees this for rowkey ranges).
+    pub fn scan(&self, range: KeyRange) -> Result<Vec<Entry>> {
+        self.scan_ranges(std::slice::from_ref(&range), &KeepAll)
+    }
+
+    /// Scans many key ranges with a push-down filter, fanning out across
+    /// the owning regions. Results are concatenated in (shard, key) order.
+    pub fn scan_ranges(
+        &self,
+        ranges: &[KeyRange],
+        filter: &(dyn ScanFilter + '_),
+    ) -> Result<Vec<Entry>> {
+        // Group ranges by owning shard. Ranges produced by the rowkey
+        // schema carry a shard prefix and land on one shard; administrative
+        // scans (e.g. `KeyRange::all()`) are split per shard.
+        let mut per_shard: Vec<Vec<KeyRange>> = vec![Vec::new(); self.regions.len()];
+        for range in ranges {
+            if range.is_empty() {
+                continue;
+            }
+            for (shard, bucket) in per_shard.iter_mut().enumerate() {
+                let clipped = range.intersect(&KeyRange::prefix(vec![shard as u8]));
+                if !clipped.is_empty() {
+                    bucket.push(clipped);
+                }
+            }
+        }
+
+        let involved: Vec<usize> =
+            (0..self.regions.len()).filter(|&i| !per_shard[i].is_empty()).collect();
+
+        if self.opts.parallel_scans && involved.len() > 1 {
+            let mut results: Vec<Result<Vec<Entry>>> = Vec::with_capacity(involved.len());
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = involved
+                    .iter()
+                    .map(|&shard| {
+                        let region = Arc::clone(&self.regions[shard]);
+                        let ranges = per_shard[shard].clone();
+                        scope.spawn(move |_| scan_region(&region, &ranges, filter))
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("region scan thread panicked"));
+                }
+            })
+            .expect("scan scope panicked");
+            let mut out = Vec::new();
+            for r in results {
+                out.extend(r?);
+            }
+            Ok(out)
+        } else {
+            let mut out = Vec::new();
+            for &shard in &involved {
+                out.extend(scan_region(&self.regions[shard], &per_shard[shard], filter)?);
+            }
+            Ok(out)
+        }
+    }
+
+    /// Aggregated I/O metrics across all regions.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.regions
+            .iter()
+            .map(|r| r.metrics().snapshot())
+            .fold(MetricsSnapshot::default(), |acc, s| acc.plus(&s))
+    }
+
+    /// Resets every region's metrics.
+    pub fn reset_metrics(&self) {
+        for r in &self.regions {
+            r.metrics().reset();
+        }
+    }
+
+    /// Flushes every region's memtable.
+    pub fn flush(&self) -> Result<()> {
+        for r in &self.regions {
+            r.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts every region.
+    pub fn compact(&self) -> Result<()> {
+        for r in &self.regions {
+            r.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Per-region live-row upper bounds, for skew diagnostics (Fig. 19).
+    pub fn region_entry_counts(&self) -> Vec<u64> {
+        self.regions
+            .iter()
+            .map(|r| r.table_entries() + r.memtable_len() as u64)
+            .collect()
+    }
+}
+
+fn scan_region(
+    region: &LsmStore,
+    ranges: &[KeyRange],
+    filter: &(dyn ScanFilter + '_),
+) -> Result<Vec<Entry>> {
+    let mut out = Vec::new();
+    for range in ranges {
+        out.extend(region.scan_filtered(range.clone(), filter)?);
+    }
+    Ok(out)
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("shards", &self.opts.shards).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterDecision;
+
+    fn key(shard: u8, rest: &str) -> Vec<u8> {
+        let mut k = vec![shard];
+        k.extend_from_slice(rest.as_bytes());
+        k
+    }
+
+    fn cluster(shards: u8) -> Cluster {
+        Cluster::open(ClusterOptions {
+            shards,
+            store: StoreOptions { memtable_bytes: 1 << 14, ..StoreOptions::in_memory() },
+            parallel_scans: true,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn routing_by_first_byte() {
+        let c = cluster(4);
+        for shard in 0..4u8 {
+            for i in 0..25 {
+                c.put(key(shard, &format!("k{i:03}")), format!("v{shard}-{i}")).unwrap();
+            }
+        }
+        assert_eq!(
+            c.get(&key(2, "k007")).unwrap().as_deref(),
+            Some(&b"v2-7"[..])
+        );
+        let counts = c.region_entry_counts();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|&n| n == 25), "counts: {counts:?}");
+    }
+
+    #[test]
+    fn shard_out_of_range_rejected() {
+        let c = cluster(2);
+        assert!(c.put(key(5, "x"), "v").is_err());
+        assert!(c.get(&key(5, "x")).is_err());
+        assert!(c.put(Vec::new(), "v").is_err());
+    }
+
+    #[test]
+    fn multi_range_scan_fans_out() {
+        let c = cluster(4);
+        for shard in 0..4u8 {
+            for i in 0..100 {
+                c.put(key(shard, &format!("k{i:03}")), "v").unwrap();
+            }
+        }
+        let ranges = vec![
+            KeyRange::new(key(0, "k010"), key(0, "k020")),
+            KeyRange::new(key(2, "k050"), key(2, "k055")),
+            KeyRange::new(key(3, "k000"), key(3, "k001")),
+        ];
+        let entries = c.scan_ranges(&ranges, &KeepAll).unwrap();
+        assert_eq!(entries.len(), 10 + 5 + 1);
+    }
+
+    #[test]
+    fn filter_pushdown_applies_per_region() {
+        let c = cluster(3);
+        for shard in 0..3u8 {
+            for i in 0..30 {
+                c.put(key(shard, &format!("k{i:03}")), format!("{i}")).unwrap();
+            }
+        }
+        let even = |_k: &[u8], v: &[u8]| {
+            let i: u32 = std::str::from_utf8(v).unwrap().parse().unwrap();
+            if i % 2 == 0 {
+                FilterDecision::Keep
+            } else {
+                FilterDecision::Skip
+            }
+        };
+        let ranges: Vec<KeyRange> =
+            (0..3u8).map(|s| KeyRange::prefix(vec![s])).collect();
+        let entries = c.scan_ranges(&ranges, &even).unwrap();
+        assert_eq!(entries.len(), 45);
+        let m = c.metrics_snapshot();
+        assert_eq!(m.entries_scanned, 90);
+        assert_eq!(m.entries_returned, 45);
+    }
+
+    #[test]
+    fn metrics_aggregate_and_reset() {
+        let c = cluster(2);
+        c.put(key(0, "a"), "1").unwrap();
+        c.put(key(1, "b"), "2").unwrap();
+        c.flush().unwrap();
+        let _ = c.scan(KeyRange::prefix(vec![0u8])).unwrap();
+        let _ = c.scan(KeyRange::prefix(vec![1u8])).unwrap();
+        let m = c.metrics_snapshot();
+        assert_eq!(m.entries_scanned, 2);
+        assert!(m.blocks_read >= 2);
+        c.reset_metrics();
+        assert_eq!(c.metrics_snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn single_shard_cluster_works() {
+        let c = cluster(1);
+        for i in 0..50 {
+            c.put(key(0, &format!("k{i:03}")), "v").unwrap();
+        }
+        assert_eq!(c.scan(KeyRange::all()).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(Cluster::open(ClusterOptions::in_memory(0)).is_err());
+    }
+
+    #[test]
+    fn disk_cluster_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("trass-cluster-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = ClusterOptions {
+            shards: 2,
+            store: StoreOptions::at_dir(&dir),
+            parallel_scans: false,
+        };
+        {
+            let c = Cluster::open(opts.clone()).unwrap();
+            c.put(key(0, "x"), "1").unwrap();
+            c.put(key(1, "y"), "2").unwrap();
+        }
+        {
+            let c = Cluster::open(opts).unwrap();
+            assert_eq!(c.get(&key(0, "x")).unwrap().as_deref(), Some(&b"1"[..]));
+            assert_eq!(c.get(&key(1, "y")).unwrap().as_deref(), Some(&b"2"[..]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,71 @@
+//! Server-side scan filters ("coprocessor push-down").
+//!
+//! TraSS pushes its local filtering (Algorithm 2) into HBase coprocessors
+//! so dissimilar trajectories are discarded *inside* the region server. The
+//! store mirrors that: a [`ScanFilter`] runs against every row a scan
+//! visits, and only surviving rows are materialized into results. The scan
+//! metrics distinguish rows *visited* from rows *returned*, which is
+//! exactly the paper's retrieved-vs-candidates accounting (Fig. 11).
+
+/// Outcome of filtering one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// Keep the row in the scan result.
+    Keep,
+    /// Drop the row and continue scanning.
+    Skip,
+    /// Drop the row and stop this range scan early (e.g. a top-k scan whose
+    /// bound proves nothing further can qualify).
+    Stop,
+}
+
+/// A predicate applied inside the store during scans.
+///
+/// Implementations must be `Send + Sync`: the cluster fans scans out across
+/// region threads.
+pub trait ScanFilter: Send + Sync {
+    /// Decides the fate of one row.
+    fn check(&self, key: &[u8], value: &[u8]) -> FilterDecision;
+}
+
+/// A filter that keeps every row (the default for plain scans).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeepAll;
+
+impl ScanFilter for KeepAll {
+    fn check(&self, _key: &[u8], _value: &[u8]) -> FilterDecision {
+        FilterDecision::Keep
+    }
+}
+
+impl<F> ScanFilter for F
+where
+    F: Fn(&[u8], &[u8]) -> FilterDecision + Send + Sync,
+{
+    fn check(&self, key: &[u8], value: &[u8]) -> FilterDecision {
+        self(key, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_all_keeps() {
+        assert_eq!(KeepAll.check(b"k", b"v"), FilterDecision::Keep);
+    }
+
+    #[test]
+    fn closures_are_filters() {
+        let f = |key: &[u8], _v: &[u8]| {
+            if key.starts_with(b"a") {
+                FilterDecision::Keep
+            } else {
+                FilterDecision::Skip
+            }
+        };
+        assert_eq!(f.check(b"abc", b""), FilterDecision::Keep);
+        assert_eq!(f.check(b"xyz", b""), FilterDecision::Skip);
+    }
+}

@@ -1,0 +1,753 @@
+//! The LSM store: write path, read path, flush and compaction.
+
+use crate::cache::BlockCache;
+use crate::error::{KvError, Result};
+use crate::filter::{FilterDecision, KeepAll, ScanFilter};
+use crate::memtable::Memtable;
+use crate::merge::{MergeItem, MergeIter};
+use crate::metrics::IoMetrics;
+use crate::sstable::{SsTable, SsTableBuilder};
+use crate::types::{Entry, KeyRange};
+use crate::wal::Wal;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Tuning knobs for an [`LsmStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Data directory. `None` runs fully in memory: no WAL, SSTables held
+    /// as byte buffers (used by tests and hermetic benchmarks).
+    pub dir: Option<PathBuf>,
+    /// Memtable flush threshold in approximate bytes.
+    pub memtable_bytes: usize,
+    /// SSTable data-block target size in bytes.
+    pub block_size: usize,
+    /// Bloom filter density.
+    pub bloom_bits_per_key: usize,
+    /// Number of SSTables that triggers a full compaction.
+    pub compaction_threshold: usize,
+    /// fsync the WAL on every write.
+    pub sync_writes: bool,
+    /// Decoded-block cache capacity in bytes (0 disables the cache).
+    pub block_cache_bytes: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            dir: None,
+            memtable_bytes: 4 << 20,
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            compaction_threshold: 8,
+            sync_writes: false,
+            block_cache_bytes: 8 << 20,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// In-memory store with default tuning.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Disk-backed store rooted at `dir`.
+    pub fn at_dir(dir: impl Into<PathBuf>) -> Self {
+        StoreOptions { dir: Some(dir.into()), ..Self::default() }
+    }
+}
+
+struct Inner {
+    memtable: Memtable,
+    wal: Option<Wal>,
+    /// SSTables, oldest first (newest last).
+    tables: Vec<Arc<SsTable>>,
+    /// File name of each SSTable, parallel to `tables` (empty entries for
+    /// in-memory stores).
+    file_names: Vec<String>,
+    next_table_id: u64,
+}
+
+/// An embedded log-structured key-value store.
+///
+/// Thread-safe: reads take a shared lock, writes an exclusive lock. Scans
+/// snapshot the table list and stream per-block, holding the shared lock
+/// only while merging.
+pub struct LsmStore {
+    opts: StoreOptions,
+    inner: RwLock<Inner>,
+    metrics: Arc<IoMetrics>,
+    cache: Option<Arc<BlockCache>>,
+}
+
+const WAL_FILE: &str = "wal.log";
+const MANIFEST_FILE: &str = "MANIFEST";
+
+impl LsmStore {
+    /// Opens (or creates) a store, replaying the WAL if one exists.
+    pub fn open(opts: StoreOptions) -> Result<Self> {
+        let cache = (opts.block_cache_bytes > 0)
+            .then(|| BlockCache::new(opts.block_cache_bytes));
+        let mut tables = Vec::new();
+        let mut file_names: Vec<String> = Vec::new();
+        let mut next_table_id = 0u64;
+        let mut memtable = Memtable::new();
+        let wal = if let Some(dir) = &opts.dir {
+            std::fs::create_dir_all(dir)?;
+            // Load the manifest's table list, oldest first.
+            let manifest = dir.join(MANIFEST_FILE);
+            if manifest.exists() {
+                let listing = std::fs::read_to_string(&manifest)?;
+                for name in listing.lines().filter(|l| !l.is_empty()) {
+                    let table = match &cache {
+                        Some(c) => SsTable::open_file_cached(&dir.join(name), Arc::clone(c))?,
+                        None => SsTable::open_file(&dir.join(name))?,
+                    };
+                    if let Some(stem) = name.strip_suffix(".sst") {
+                        if let Ok(id) = stem.parse::<u64>() {
+                            next_table_id = next_table_id.max(id + 1);
+                        }
+                    }
+                    tables.push(table);
+                    file_names.push(name.to_string());
+                }
+            }
+            // Replay unflushed writes.
+            let wal_path = dir.join(WAL_FILE);
+            for (key, value) in Wal::replay(&wal_path)? {
+                match value {
+                    Some(v) => memtable.put(key, v),
+                    None => memtable.delete(key),
+                }
+            }
+            Some(Wal::open_append(&wal_path, opts.sync_writes)?)
+        } else {
+            None
+        };
+        Ok(LsmStore {
+            opts,
+            inner: RwLock::new(Inner { memtable, wal, tables, file_names, next_table_id }),
+            metrics: Arc::new(IoMetrics::new()),
+            cache,
+        })
+    }
+
+    /// The shared block cache, when enabled.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The store's I/O metrics handle.
+    pub fn metrics(&self) -> &Arc<IoMetrics> {
+        &self.metrics
+    }
+
+    /// Writes a key-value pair.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        let (key, value) = (key.into(), value.into());
+        {
+            let mut inner = self.inner.write();
+            if let Some(wal) = &mut inner.wal {
+                wal.append_put(&key, &value)?;
+            }
+            inner.memtable.put(key, value);
+        }
+        self.maybe_flush()
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        {
+            let mut inner = self.inner.write();
+            if let Some(wal) = &mut inner.wal {
+                wal.append_delete(&key)?;
+            }
+            inner.memtable.delete(key);
+        }
+        self.maybe_flush()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let inner = self.inner.read();
+        if let Some(v) = inner.memtable.get(key) {
+            return Ok(v);
+        }
+        for table in inner.tables.iter().rev() {
+            if let Some(v) = table.get(key, &self.metrics)? {
+                return Ok(v);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan returning all live entries in `range`.
+    pub fn scan(&self, range: KeyRange) -> Result<Vec<Entry>> {
+        self.scan_filtered(range, &KeepAll)
+    }
+
+    /// Range scan with a push-down filter. Rows the filter skips are
+    /// counted as scanned but never materialized; `FilterDecision::Stop`
+    /// ends the scan early.
+    pub fn scan_filtered(&self, range: KeyRange, filter: &dyn ScanFilter) -> Result<Vec<Entry>> {
+        self.metrics.record_range_scan();
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read();
+        let mut sources: Vec<Box<dyn Iterator<Item = Result<MergeItem>> + '_>> = Vec::new();
+        // Newest first: memtable, then tables newest → oldest.
+        sources.push(Box::new(
+            inner
+                .memtable
+                .range(&range)
+                .map(|(k, v)| Ok((k.clone(), v.clone()))),
+        ));
+        for table in inner.tables.iter().rev() {
+            sources.push(Box::new(
+                table
+                    .scan(range.clone(), &self.metrics)
+                    .map(|r| r.map(|e| (e.key, e.value))),
+            ));
+        }
+        let merged = MergeIter::new(sources)?;
+        let mut out = Vec::new();
+        for item in merged {
+            let (key, value) = item?;
+            let Some(value) = value else { continue }; // tombstone
+            self.metrics.record_entry_scanned();
+            match filter.check(&key, &value) {
+                FilterDecision::Keep => {
+                    self.metrics.record_entry_returned();
+                    out.push(Entry { key, value });
+                }
+                FilterDecision::Skip => {}
+                FilterDecision::Stop => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Streaming scan over a consistent snapshot: the memtable's matching
+    /// range is copied and SSTables are pinned via `Arc`, so iteration
+    /// proceeds without holding the store lock and is unaffected by
+    /// concurrent writes, flushes, or compactions. Tombstoned rows are
+    /// skipped; rows are yielded in key order, newest version wins.
+    pub fn scan_snapshot(&self, range: KeyRange) -> Result<SnapshotScan> {
+        self.metrics.record_range_scan();
+        let (mem_items, tables) = {
+            let inner = self.inner.read();
+            let mem: Vec<MergeItem> = inner
+                .memtable
+                .range(&range)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (mem, inner.tables.clone())
+        };
+        let mut sources: Vec<Box<dyn Iterator<Item = Result<MergeItem>>>> =
+            Vec::with_capacity(1 + tables.len());
+        sources.push(Box::new(mem_items.into_iter().map(Ok)));
+        for table in tables.into_iter().rev() {
+            let metrics = Arc::clone(&self.metrics);
+            sources.push(Box::new(
+                table
+                    .scan_owned(range.clone(), metrics)
+                    .map(|r| r.map(|e| (e.key, e.value))),
+            ));
+        }
+        Ok(SnapshotScan { merged: MergeIter::new(sources)?, metrics: Arc::clone(&self.metrics) })
+    }
+
+    /// Flushes the memtable if it exceeds the configured threshold, then
+    /// compacts if the table count exceeds its threshold.
+    fn maybe_flush(&self) -> Result<()> {
+        let needs_flush = {
+            let inner = self.inner.read();
+            inner.memtable.approx_bytes() >= self.opts.memtable_bytes
+        };
+        if needs_flush {
+            self.flush()?;
+        }
+        let needs_compact = {
+            let inner = self.inner.read();
+            inner.tables.len() > self.opts.compaction_threshold
+        };
+        if needs_compact {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Forces the memtable out to a new SSTable.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let mut builder =
+            SsTableBuilder::new(self.opts.block_size, self.opts.bloom_bits_per_key);
+        for (k, v) in inner.memtable.iter() {
+            builder.add(k, v.as_deref());
+        }
+        let encoded = builder.finish();
+        let id = inner.next_table_id;
+        inner.next_table_id += 1;
+        let (table, name) = self.persist_table(id, encoded)?;
+        inner.tables.push(table);
+        inner.file_names.push(name);
+        if self.opts.dir.is_some() {
+            self.write_manifest(&inner.file_names)?;
+        }
+        inner.memtable.clear();
+        if let Some(dir) = &self.opts.dir {
+            // WAL content is now durable in the SSTable; retire the old
+            // log WITHOUT flushing its buffer (a late buffered write would
+            // land inside the fresh, truncated log) and start a new one.
+            if let Some(old) = inner.wal.take() {
+                old.discard();
+            }
+            inner.wal = Some(Wal::create(&dir.join(WAL_FILE), self.opts.sync_writes)?);
+        }
+        Ok(())
+    }
+
+    /// Merges all SSTables into one, dropping tombstones and shadowed
+    /// versions.
+    pub fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.tables.len() <= 1 {
+            return Ok(());
+        }
+        let compaction_metrics = IoMetrics::new(); // do not pollute query metrics
+        let mut sources: Vec<Box<dyn Iterator<Item = Result<MergeItem>> + '_>> = Vec::new();
+        for table in inner.tables.iter().rev() {
+            sources.push(Box::new(
+                table
+                    .scan(KeyRange::all(), &compaction_metrics)
+                    .map(|r| r.map(|e| (e.key, e.value))),
+            ));
+        }
+        let mut builder =
+            SsTableBuilder::new(self.opts.block_size, self.opts.bloom_bits_per_key);
+        for item in MergeIter::new(sources)? {
+            let (key, value) = item?;
+            // Full compaction: tombstones have shadowed everything they
+            // ever will; drop them.
+            if let Some(v) = value {
+                builder.add(&key, Some(&v));
+            }
+        }
+        let encoded = builder.finish();
+        let id = inner.next_table_id;
+        inner.next_table_id += 1;
+        let (table, name) = self.persist_table(id, encoded)?;
+        let old_names = std::mem::replace(&mut inner.file_names, vec![name]);
+        inner.tables = vec![table];
+        if let Some(dir) = &self.opts.dir {
+            // Manifest first (the commit point), then delete the inputs.
+            self.write_manifest(&inner.file_names)?;
+            for name in old_names {
+                std::fs::remove_file(dir.join(name)).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the encoded table to its backing storage and opens it.
+    /// Returns the table and its file name ("" for in-memory stores).
+    fn persist_table(&self, id: u64, encoded: Vec<u8>) -> Result<(Arc<SsTable>, String)> {
+        if let Some(dir) = &self.opts.dir {
+            let name = format!("{id:08}.sst");
+            let path = dir.join(&name);
+            std::fs::write(&path, &encoded)?;
+            let table = match &self.cache {
+                Some(c) => SsTable::open_file_cached(&path, Arc::clone(c))?,
+                None => SsTable::open_file(&path)?,
+            };
+            Ok((table, name))
+        } else {
+            let table = match &self.cache {
+                Some(c) => SsTable::open_mem_cached(Bytes::from(encoded), Arc::clone(c))?,
+                None => SsTable::open_mem(Bytes::from(encoded))?,
+            };
+            Ok((table, String::new()))
+        }
+    }
+
+    /// Atomically replaces the manifest with the given table list (oldest
+    /// first).
+    fn write_manifest(&self, names: &[String]) -> Result<()> {
+        let dir = self
+            .opts
+            .dir
+            .as_ref()
+            .ok_or_else(|| KvError::invalid("manifest write on in-memory store"))?;
+        let tmp = dir.join("MANIFEST.tmp");
+        std::fs::write(&tmp, names.join("\n"))?;
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        Ok(())
+    }
+
+    /// Number of live SSTables.
+    pub fn n_tables(&self) -> usize {
+        self.inner.read().tables.len()
+    }
+
+    /// Entries currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.inner.read().memtable.len()
+    }
+
+    /// Sum of entries across SSTables (including shadowed/tombstoned ones —
+    /// an upper bound on live rows until compaction).
+    pub fn table_entries(&self) -> u64 {
+        self.inner.read().tables.iter().map(|t| t.n_entries()).sum()
+    }
+}
+
+/// Streaming iterator returned by [`LsmStore::scan_snapshot`].
+pub struct SnapshotScan {
+    merged: MergeIter<'static>,
+    metrics: Arc<IoMetrics>,
+}
+
+impl Iterator for SnapshotScan {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.merged.next()? {
+                Ok((_, None)) => continue, // tombstone
+                Ok((key, Some(value))) => {
+                    self.metrics.record_entry_scanned();
+                    return Some(Ok(Entry { key, value }));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LsmStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmStore")
+            .field("tables", &self.n_tables())
+            .field("memtable_len", &self.memtable_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_store() -> LsmStore {
+        LsmStore::open(StoreOptions {
+            memtable_bytes: 1 << 14, // small to force flushes
+            compaction_threshold: 4,
+            ..StoreOptions::in_memory()
+        })
+        .unwrap()
+    }
+
+    fn kv(i: u32) -> (String, String) {
+        (format!("key-{i:06}"), format!("value-{i}"))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = mem_store();
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            assert_eq!(s.get(k.as_bytes()).unwrap().as_deref(), Some(v.as_bytes()));
+        }
+        assert_eq!(s.get(b"absent").unwrap(), None);
+    }
+
+    #[test]
+    fn flush_preserves_reads() {
+        let s = mem_store();
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(s.memtable_len(), 0);
+        assert!(s.n_tables() >= 1);
+        let (k, v) = kv(25);
+        assert_eq!(s.get(k.as_bytes()).unwrap().as_deref(), Some(v.as_bytes()));
+    }
+
+    #[test]
+    fn overwrite_across_flush_reads_newest() {
+        let s = mem_store();
+        s.put("k", "old").unwrap();
+        s.flush().unwrap();
+        s.put("k", "new").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"new"[..]));
+        s.flush().unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn delete_shadows_flushed_value() {
+        let s = mem_store();
+        s.put("k", "v").unwrap();
+        s.flush().unwrap();
+        s.delete("k").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), None);
+        s.flush().unwrap();
+        assert_eq!(s.get(b"k").unwrap(), None);
+        let entries = s.scan(KeyRange::all()).unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_tables() {
+        let s = mem_store();
+        s.put("a", "1").unwrap();
+        s.flush().unwrap();
+        s.put("c", "3").unwrap();
+        s.flush().unwrap();
+        s.put("b", "2").unwrap(); // stays in memtable
+        let entries = s.scan(KeyRange::all()).unwrap();
+        let keys: Vec<_> = entries.iter().map(|e| e.key.as_ref().to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn scan_range_bounds() {
+        let s = mem_store();
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        let r = KeyRange::new(&b"key-000020"[..], &b"key-000030"[..]);
+        let entries = s.scan(r).unwrap();
+        assert_eq!(entries.len(), 10);
+        assert_eq!(entries[0].key.as_ref(), b"key-000020");
+    }
+
+    #[test]
+    fn filter_pushdown_skip_and_stop() {
+        let s = mem_store();
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        let before = s.metrics().snapshot();
+        // Keep every third row.
+        let every_third = |key: &[u8], _v: &[u8]| {
+            let i: u32 = std::str::from_utf8(&key[4..]).unwrap().parse().unwrap();
+            if i % 3 == 0 {
+                FilterDecision::Keep
+            } else {
+                FilterDecision::Skip
+            }
+        };
+        let entries = s.scan_filtered(KeyRange::all(), &every_third).unwrap();
+        assert_eq!(entries.len(), 34);
+        let after = s.metrics().snapshot().since(&before);
+        assert_eq!(after.entries_scanned, 100);
+        assert_eq!(after.entries_returned, 34);
+
+        // Stop after the first row.
+        let stop_after_first = {
+            let seen = std::sync::atomic::AtomicBool::new(false);
+            move |_k: &[u8], _v: &[u8]| {
+                if seen.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    FilterDecision::Stop
+                } else {
+                    FilterDecision::Keep
+                }
+            }
+        };
+        let entries = s.scan_filtered(KeyRange::all(), &stop_after_first).unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn automatic_flush_and_compaction_under_load() {
+        let s = mem_store();
+        for i in 0..5000 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        assert!(
+            s.n_tables() <= 5,
+            "compaction should bound table count, got {}",
+            s.n_tables()
+        );
+        // All data still readable.
+        for i in (0..5000).step_by(501) {
+            let (k, v) = kv(i);
+            assert_eq!(s.get(k.as_bytes()).unwrap().as_deref(), Some(v.as_bytes()));
+        }
+        assert_eq!(s.scan(KeyRange::all()).unwrap().len(), 5000);
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_duplicates() {
+        let s = mem_store();
+        for i in 0..100 {
+            let (k, _) = kv(i);
+            s.put(k, "v1").unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..100 {
+            let (k, _) = kv(i);
+            s.put(k, "v2").unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..50 {
+            let (k, _) = kv(i);
+            s.delete(k).unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(s.n_tables(), 3);
+        s.compact().unwrap();
+        assert_eq!(s.n_tables(), 1);
+        assert_eq!(s.table_entries(), 50, "compaction leaves only live rows");
+        let entries = s.scan(KeyRange::all()).unwrap();
+        assert_eq!(entries.len(), 50);
+        assert!(entries.iter().all(|e| e.value.as_ref() == b"v2"));
+    }
+
+    #[test]
+    fn disk_store_recovers_after_reopen() {
+        let dir = std::env::temp_dir().join(format!("trass-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = StoreOptions { memtable_bytes: 1 << 12, ..StoreOptions::at_dir(&dir) };
+        {
+            let s = LsmStore::open(opts.clone()).unwrap();
+            for i in 0..500 {
+                let (k, v) = kv(i);
+                s.put(k, v).unwrap();
+            }
+            s.delete("key-000010").unwrap();
+            // No explicit flush for the tail: it must come back via WAL.
+        }
+        {
+            let s = LsmStore::open(opts).unwrap();
+            let (k, v) = kv(499);
+            assert_eq!(s.get(k.as_bytes()).unwrap().as_deref(), Some(v.as_bytes()));
+            assert_eq!(s.get(b"key-000010").unwrap(), None);
+            assert_eq!(s.scan(KeyRange::all()).unwrap().len(), 499);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_scan_ignores_later_writes() {
+        let s = mem_store();
+        for i in 0..200 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        let mut snap = s.scan_snapshot(KeyRange::all()).unwrap();
+        // Mutate after the snapshot: delete everything, add new keys,
+        // flush and compact underneath the iterator.
+        for i in 0..200 {
+            let (k, _) = kv(i);
+            s.delete(k).unwrap();
+        }
+        s.put("zzz", "after").unwrap();
+        s.flush().unwrap();
+        s.compact().unwrap();
+        // The snapshot still sees exactly the original 200 rows.
+        let mut n = 0;
+        for entry in &mut snap {
+            let e = entry.unwrap();
+            assert!(e.key.as_ref() != b"zzz");
+            n += 1;
+        }
+        assert_eq!(n, 200);
+        // A fresh scan sees the new state.
+        let now = s.scan(KeyRange::all()).unwrap();
+        assert_eq!(now.len(), 1);
+        assert_eq!(now[0].key.as_ref(), b"zzz");
+    }
+
+    #[test]
+    fn snapshot_scan_matches_collecting_scan() {
+        let s = mem_store();
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        for i in (0..500).step_by(3) {
+            let (k, _) = kv(i);
+            s.delete(k).unwrap();
+        }
+        let range = KeyRange::new(&b"key-000050"[..], &b"key-000400"[..]);
+        let collected = s.scan(range.clone()).unwrap();
+        let streamed: Vec<Entry> =
+            s.scan_snapshot(range).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(collected, streamed);
+    }
+
+    #[test]
+    fn block_cache_serves_repeated_scans() {
+        let s = LsmStore::open(StoreOptions {
+            memtable_bytes: 1 << 12,
+            block_cache_bytes: 4 << 20,
+            ..StoreOptions::in_memory()
+        })
+        .unwrap();
+        for i in 0..2000 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        let range = KeyRange::new(&b"key-000100"[..], &b"key-000200"[..]);
+        let _ = s.scan(range.clone()).unwrap();
+        let cold = s.metrics().snapshot();
+        let _ = s.scan(range).unwrap();
+        let warm = s.metrics().snapshot().since(&cold);
+        assert_eq!(warm.blocks_read, 0, "second scan should be fully cached");
+        assert!(warm.cache_hits > 0);
+        assert!(s.block_cache().unwrap().resident_bytes() > 0);
+    }
+
+    #[test]
+    fn cache_disabled_reads_blocks_every_time() {
+        let s = LsmStore::open(StoreOptions {
+            memtable_bytes: 1 << 12,
+            block_cache_bytes: 0,
+            ..StoreOptions::in_memory()
+        })
+        .unwrap();
+        for i in 0..2000 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        assert!(s.block_cache().is_none());
+        let range = KeyRange::new(&b"key-000100"[..], &b"key-000200"[..]);
+        let _ = s.scan(range.clone()).unwrap();
+        let cold = s.metrics().snapshot();
+        let _ = s.scan(range).unwrap();
+        let warm = s.metrics().snapshot().since(&cold);
+        assert!(warm.blocks_read > 0);
+        assert_eq!(warm.cache_hits, 0);
+    }
+
+    #[test]
+    fn empty_range_scan_is_empty() {
+        let s = mem_store();
+        s.put("a", "1").unwrap();
+        let r = KeyRange::new(&b"x"[..], &b"x"[..]);
+        assert!(s.scan(r).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Core key/value types.
+
+use bytes::Bytes;
+use std::ops::Bound;
+
+/// One row returned from a scan: key plus value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Row key.
+    pub key: Bytes,
+    /// Row value.
+    pub value: Bytes,
+}
+
+impl Entry {
+    /// Creates an entry.
+    pub fn new(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        Entry { key: key.into(), value: value.into() }
+    }
+}
+
+/// A half-open key range `[start, end)`; an unbounded `end` scans to the end
+/// of the keyspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive start key.
+    pub start: Bytes,
+    /// Exclusive end key (`None` = unbounded).
+    pub end: Option<Bytes>,
+}
+
+impl KeyRange {
+    /// `[start, end)`.
+    pub fn new(start: impl Into<Bytes>, end: impl Into<Bytes>) -> Self {
+        let r = KeyRange { start: start.into(), end: Some(end.into()) };
+        debug_assert!(
+            r.end.as_ref().map_or(true, |e| *e >= r.start),
+            "inverted key range"
+        );
+        r
+    }
+
+    /// `[start, +∞)`.
+    pub fn from(start: impl Into<Bytes>) -> Self {
+        KeyRange { start: start.into(), end: None }
+    }
+
+    /// The full keyspace.
+    pub fn all() -> Self {
+        KeyRange { start: Bytes::new(), end: None }
+    }
+
+    /// All keys starting with `prefix`.
+    pub fn prefix(prefix: impl Into<Bytes>) -> Self {
+        let start: Bytes = prefix.into();
+        match prefix_upper_bound(&start) {
+            Some(end) => KeyRange { start, end: Some(end) },
+            None => KeyRange { start, end: None },
+        }
+    }
+
+    /// Returns `true` when `key` falls inside the range.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        key >= self.start.as_ref()
+            && self.end.as_ref().map_or(true, |e| key < e.as_ref())
+    }
+
+    /// Whether this range and `other` share any key.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        let self_before = match &self.end {
+            Some(e) => e.as_ref() <= other.start.as_ref(),
+            None => false,
+        };
+        let other_before = match &other.end {
+            Some(e) => e.as_ref() <= self.start.as_ref(),
+            None => false,
+        };
+        !(self_before || other_before)
+    }
+
+    /// The intersection of two ranges (may be empty).
+    pub fn intersect(&self, other: &KeyRange) -> KeyRange {
+        let start = if self.start >= other.start { self.start.clone() } else { other.start.clone() };
+        let end = match (&self.end, &other.end) {
+            (Some(a), Some(b)) => Some(if a <= b { a.clone() } else { b.clone() }),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        KeyRange { start, end }
+    }
+
+    /// Standard-library bound view, for `BTreeMap::range`.
+    pub fn bounds(&self) -> (Bound<&[u8]>, Bound<&[u8]>) {
+        let lo = Bound::Included(self.start.as_ref());
+        let hi = match &self.end {
+            Some(e) => Bound::Excluded(e.as_ref()),
+            None => Bound::Unbounded,
+        };
+        (lo, hi)
+    }
+
+    /// Returns `true` when the range cannot contain any key.
+    pub fn is_empty(&self) -> bool {
+        match &self.end {
+            Some(e) => e.as_ref() <= self.start.as_ref() && !(e.is_empty() && self.start.is_empty()),
+            None => false,
+        }
+    }
+}
+
+/// The smallest byte string strictly greater than every string with the
+/// given prefix, or `None` when the prefix is all `0xFF` (no upper bound
+/// exists).
+pub(crate) fn prefix_upper_bound(prefix: &[u8]) -> Option<Bytes> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(Bytes::from(out));
+        }
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_half_open_semantics() {
+        let r = KeyRange::new(&b"b"[..], &b"d"[..]);
+        assert!(!r.contains(b"a"));
+        assert!(r.contains(b"b"));
+        assert!(r.contains(b"c"));
+        assert!(!r.contains(b"d"));
+    }
+
+    #[test]
+    fn unbounded_range() {
+        let r = KeyRange::from(&b"m"[..]);
+        assert!(r.contains(b"m"));
+        assert!(r.contains(&[0xFF, 0xFF]));
+        assert!(!r.contains(b"a"));
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        let r = KeyRange::all();
+        assert!(r.contains(b""));
+        assert!(r.contains(&[0xFF]));
+    }
+
+    #[test]
+    fn prefix_range_basics() {
+        let r = KeyRange::prefix(&b"ab"[..]);
+        assert!(r.contains(b"ab"));
+        assert!(r.contains(b"abz"));
+        assert!(!r.contains(b"ac"));
+        assert!(!r.contains(b"aa"));
+    }
+
+    #[test]
+    fn prefix_range_with_trailing_ff() {
+        let r = KeyRange::prefix(&[0x01, 0xFF][..]);
+        assert!(r.contains(&[0x01, 0xFF]));
+        assert!(r.contains(&[0x01, 0xFF, 0x00]));
+        assert!(!r.contains(&[0x02]));
+        // All-0xFF prefix has no upper bound.
+        let r = KeyRange::prefix(&[0xFF, 0xFF][..]);
+        assert!(r.end.is_none());
+        assert!(r.contains(&[0xFF, 0xFF, 0x07]));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let ab = KeyRange::new(&b"a"[..], &b"b"[..]);
+        let bc = KeyRange::new(&b"b"[..], &b"c"[..]);
+        let ac = KeyRange::new(&b"a"[..], &b"c"[..]);
+        assert!(!ab.overlaps(&bc), "touching half-open ranges do not overlap");
+        assert!(ab.overlaps(&ac));
+        assert!(ac.overlaps(&bc));
+        let unbounded = KeyRange::from(&b"b"[..]);
+        assert!(unbounded.overlaps(&ac));
+        assert!(unbounded.overlaps(&bc));
+        assert!(!unbounded.overlaps(&ab), "[b,∞) misses [a,b)");
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(KeyRange::new(&b"b"[..], &b"b"[..]).is_empty());
+        assert!(!KeyRange::new(&b"b"[..], &b"c"[..]).is_empty());
+        assert!(!KeyRange::all().is_empty());
+    }
+
+    #[test]
+    fn intersect_cases() {
+        let ac = KeyRange::new(&b"a"[..], &b"c"[..]);
+        let bd = KeyRange::new(&b"b"[..], &b"d"[..]);
+        assert_eq!(ac.intersect(&bd), KeyRange::new(&b"b"[..], &b"c"[..]));
+        assert_eq!(bd.intersect(&ac), KeyRange::new(&b"b"[..], &b"c"[..]));
+        let all = KeyRange::all();
+        assert_eq!(all.intersect(&ac), ac);
+        let disjoint = KeyRange::new(&b"x"[..], &b"z"[..]);
+        assert!(ac.intersect(&disjoint).is_empty());
+        let from_b = KeyRange::from(&b"b"[..]);
+        assert_eq!(from_b.intersect(&ac), KeyRange::new(&b"b"[..], &b"c"[..]));
+    }
+
+    #[test]
+    fn prefix_upper_bound_math() {
+        assert_eq!(prefix_upper_bound(b"ab").unwrap().as_ref(), b"ac");
+        assert_eq!(prefix_upper_bound(&[0x00, 0xFF]).unwrap().as_ref(), &[0x01][..]);
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fault-injection tests: corrupt on-disk state must surface as clean
+//! `KvError`s — never panics, never silently wrong data.
+
+use proptest::prelude::*;
+use trass_kv::{KeyRange, LsmStore, StoreOptions};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("trass-fault-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Builds a store with data on disk and returns its directory.
+fn build_disk_store(tag: &str) -> std::path::PathBuf {
+    let dir = temp_dir(tag);
+    let store = LsmStore::open(StoreOptions {
+        memtable_bytes: 2 << 10,
+        block_size: 256,
+        ..StoreOptions::at_dir(&dir)
+    })
+    .expect("open");
+    for i in 0..500u32 {
+        store
+            .put(format!("key-{i:06}"), format!("value-{i:06}"))
+            .expect("put");
+    }
+    store.flush().expect("flush");
+    drop(store);
+    dir
+}
+
+fn sst_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out: Vec<_> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sst"))
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flipping any byte of any SSTable either fails at open or fails at
+    /// read/scan — but never panics and never yields wrong values for keys
+    /// whose blocks are intact.
+    #[test]
+    fn random_sst_corruption_is_detected(offset_seed in any::<u64>(), bit in 0u8..8) {
+        let dir = build_disk_store(&format!("sst-{offset_seed}-{bit}"));
+        let files = sst_files(&dir);
+        prop_assume!(!files.is_empty());
+        let victim = &files[(offset_seed as usize) % files.len()];
+        let mut bytes = std::fs::read(victim).expect("read sst");
+        let pos = (offset_seed as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(victim, &bytes).expect("write sst");
+
+        match LsmStore::open(StoreOptions::at_dir(&dir)) {
+            Err(_) => {} // detected at open (index/bloom/footer damage)
+            Ok(store) => {
+                // Open succeeded: damage sits in a data block. Every
+                // operation must either succeed with *correct* data or
+                // return an error.
+                for i in (0..500u32).step_by(37) {
+                    let key = format!("key-{i:06}");
+                    match store.get(key.as_bytes()) {
+                        Ok(Some(v)) => {
+                            let expected = format!("value-{i:06}");
+                            prop_assert_eq!(
+                                v.as_ref(),
+                                expected.as_bytes(),
+                                "corruption returned wrong data"
+                            );
+                        }
+                        Ok(None) => {
+                            // Acceptable only if the flipped byte made the
+                            // bloom filter drop the key — but bloom bytes
+                            // are CRC-protected, so a missing key means the
+                            // block errored somewhere else first. Verify a
+                            // scan reports the corruption.
+                            let scan: Result<Vec<_>, _> =
+                                store.scan(KeyRange::all());
+                            prop_assert!(
+                                scan.is_err(),
+                                "key silently missing without any error"
+                            );
+                        }
+                        Err(_) => {} // detected
+                    }
+                }
+                // Full scans either succeed completely or error.
+                if let Ok(entries) = store.scan(KeyRange::all()) {
+                    prop_assert_eq!(entries.len(), 500);
+                    for e in entries {
+                        let k = String::from_utf8(e.key.to_vec()).expect("utf8");
+                        let i: u32 = k.trim_start_matches("key-").parse().expect("id");
+                        let expected = format!("value-{i:06}");
+                        prop_assert_eq!(e.value.as_ref(), expected.as_bytes());
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncating the WAL at any point loses only the tail; everything
+    /// recovered must be a prefix-consistent state.
+    #[test]
+    fn wal_truncation_recovers_prefix(cut_fraction in 0.0f64..1.0) {
+        let dir = temp_dir(&format!("wal-{}", (cut_fraction * 1e9) as u64));
+        {
+            let store = LsmStore::open(StoreOptions::at_dir(&dir)).expect("open");
+            for i in 0..200u32 {
+                store.put(format!("key-{i:06}"), format!("v{i}")).expect("put");
+            }
+            // No flush: everything lives in the WAL.
+        }
+        let wal_path = dir.join("wal.log");
+        let bytes = std::fs::read(&wal_path).expect("read wal");
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        std::fs::write(&wal_path, &bytes[..cut]).expect("truncate");
+
+        let store = LsmStore::open(StoreOptions::at_dir(&dir)).expect("recover");
+        let entries = store.scan(KeyRange::all()).expect("scan");
+        // Recovered rows must be exactly keys 0..n for some n (writes were
+        // sequential, so recovery is a prefix).
+        for (i, e) in entries.iter().enumerate() {
+            let expected = format!("key-{i:06}");
+            prop_assert_eq!(
+                e.key.as_ref(),
+                expected.as_bytes(),
+                "recovery produced a non-prefix state"
+            );
+        }
+        prop_assert!(entries.len() <= 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

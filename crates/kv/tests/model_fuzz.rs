@@ -1,0 +1,165 @@
+//! Model-based fuzzing of the LSM store: random operation sequences
+//! (put / delete / flush / compact / reopen) are applied both to the store
+//! and to a `BTreeMap` reference model; every observation (gets, full and
+//! partial scans) must agree. This is the test that catches merge-order,
+//! tombstone, and recovery bugs that unit tests miss.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use trass_kv::{KeyRange, LsmStore, StoreOptions};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Flush,
+    Compact,
+    Scan(u16, u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        2 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a % 512, b % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+    ]
+}
+
+fn key_bytes(k: u16) -> Vec<u8> {
+    format!("key-{k:05}").into_bytes()
+}
+
+fn value_bytes(v: u8) -> Vec<u8> {
+    format!("value-{v:03}").into_bytes()
+}
+
+fn tiny_store() -> LsmStore {
+    LsmStore::open(StoreOptions {
+        memtable_bytes: 512, // force frequent flushes
+        block_size: 128,     // many small blocks
+        compaction_threshold: 3,
+        block_cache_bytes: 4096, // tiny cache, heavy eviction
+        ..StoreOptions::in_memory()
+    })
+    .expect("open")
+}
+
+fn check_agreement(store: &LsmStore, model: &BTreeMap<Vec<u8>, Vec<u8>>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Scan(a, b) => {
+                let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+                let range = KeyRange::new(key_bytes(lo), key_bytes(hi));
+                let got: Vec<(Vec<u8>, Vec<u8>)> = store
+                    .scan(range)
+                    .expect("scan")
+                    .into_iter()
+                    .map(|e| (e.key.to_vec(), e.value.to_vec()))
+                    .collect();
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(key_bytes(lo)..key_bytes(hi))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "scan [{lo}, {hi}) diverged");
+            }
+            Op::Get(k) => {
+                let got = store.get(&key_bytes(*k)).expect("get").map(|b| b.to_vec());
+                let want = model.get(&key_bytes(*k)).cloned();
+                assert_eq!(got, want, "get {k} diverged");
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let store = tiny_store();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(key_bytes(*k), value_bytes(*v)).expect("put");
+                    model.insert(key_bytes(*k), value_bytes(*v));
+                }
+                Op::Delete(k) => {
+                    store.delete(key_bytes(*k)).expect("delete");
+                    model.remove(&key_bytes(*k));
+                }
+                Op::Flush => store.flush().expect("flush"),
+                Op::Compact => store.compact().expect("compact"),
+                Op::Scan(a, b) => {
+                    check_agreement(&store, &model, &[Op::Scan(*a, *b)]);
+                }
+                Op::Get(k) => {
+                    check_agreement(&store, &model, &[Op::Get(*k)]);
+                }
+            }
+        }
+        // Final full-scan agreement.
+        let got: Vec<Vec<u8>> = store
+            .scan(KeyRange::all())
+            .expect("scan")
+            .into_iter()
+            .map(|e| e.key.to_vec())
+            .collect();
+        let want: Vec<Vec<u8>> = model.keys().cloned().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn disk_store_agrees_with_model_across_reopens(
+        batches in prop::collection::vec(prop::collection::vec(op_strategy(), 1..60), 1..4),
+        case_id in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "trass-fuzz-{}-{case_id}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = StoreOptions {
+            memtable_bytes: 512,
+            block_size: 128,
+            compaction_threshold: 3,
+            ..StoreOptions::at_dir(&dir)
+        };
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for batch in &batches {
+            // Each batch runs in a fresh store instance: recovery from
+            // manifest + WAL must reconstruct exactly the model state.
+            let store = LsmStore::open(opts.clone()).expect("open");
+            let got: Vec<Vec<u8>> = store
+                .scan(KeyRange::all())
+                .expect("scan")
+                .into_iter()
+                .map(|e| e.key.to_vec())
+                .collect();
+            let want: Vec<Vec<u8>> = model.keys().cloned().collect();
+            prop_assert_eq!(got, want, "state lost across reopen");
+            for op in batch {
+                match op {
+                    Op::Put(k, v) => {
+                        store.put(key_bytes(*k), value_bytes(*v)).expect("put");
+                        model.insert(key_bytes(*k), value_bytes(*v));
+                    }
+                    Op::Delete(k) => {
+                        store.delete(key_bytes(*k)).expect("delete");
+                        model.remove(&key_bytes(*k));
+                    }
+                    Op::Flush => store.flush().expect("flush"),
+                    Op::Compact => store.compact().expect("compact"),
+                    other => check_agreement(&store, &model, std::slice::from_ref(other)),
+                }
+            }
+            // Drop without flush: the WAL carries the tail.
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

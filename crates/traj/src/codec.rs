@@ -1,0 +1,265 @@
+//! Compact binary encoding of trajectories and DP features.
+//!
+//! This is the value format of the trajectory table (Table I): the `points`
+//! column stores the raw point sequence, `dp-points` the representative
+//! indices, and `dp-mbrs` the oriented covering boxes. Everything is
+//! little-endian and length-prefixed; no self-describing serialization is
+//! used because row values dominate the store's footprint.
+
+use crate::dp::DpFeatures;
+use std::fmt;
+use trass_geo::{OrientedBox, Point};
+
+/// Error decoding a stored value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the declared payload.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A declared count or index was inconsistent with the data.
+    Corrupt {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { context } => write!(f, "truncated value while decoding {context}"),
+            CodecError::Corrupt { context } => write!(f, "corrupt value while decoding {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Corrupt { context })?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, CodecError> {
+        let b = self.take(8, context)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_point(out: &mut Vec<u8>, p: &Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+fn read_point(r: &mut Reader<'_>, context: &'static str) -> Result<Point, CodecError> {
+    Ok(Point::new(r.f64(context)?, r.f64(context)?))
+}
+
+/// Encodes a point sequence: `u32 count` then `count × (f64, f64)`.
+pub fn encode_points(points: &[Point]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + points.len() * 16);
+    put_u32(&mut out, points.len() as u32);
+    for p in points {
+        put_point(&mut out, p);
+    }
+    out
+}
+
+/// Decodes a point sequence written by [`encode_points`].
+pub fn decode_points(buf: &[u8]) -> Result<Vec<Point>, CodecError> {
+    let mut r = Reader::new(buf);
+    let n = r.u32("points count")? as usize;
+    // Guard against a corrupt count causing a huge allocation.
+    if n.saturating_mul(16) > buf.len() {
+        return Err(CodecError::Corrupt { context: "points count" });
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        points.push(read_point(&mut r, "point")?);
+    }
+    if !r.finished() {
+        return Err(CodecError::Corrupt { context: "trailing bytes after points" });
+    }
+    Ok(points)
+}
+
+/// Encodes DP features: representative indices and covering boxes.
+/// Representative *points* are not stored — they are recoverable from the
+/// raw point column, which is always fetched alongside.
+pub fn encode_features(features: &DpFeatures) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(8 + features.rep_indices.len() * 4 + features.boxes.len() * 48);
+    put_u32(&mut out, features.rep_indices.len() as u32);
+    for &i in &features.rep_indices {
+        put_u32(&mut out, i);
+    }
+    put_u32(&mut out, features.boxes.len() as u32);
+    for b in &features.boxes {
+        put_point(&mut out, &b.center);
+        put_point(&mut out, &b.axis);
+        put_f64(&mut out, b.half_u);
+        put_f64(&mut out, b.half_v);
+    }
+    out
+}
+
+/// Decodes DP features written by [`encode_features`], resolving
+/// representative points against the raw `points` column.
+pub fn decode_features(buf: &[u8], points: &[Point]) -> Result<DpFeatures, CodecError> {
+    let mut r = Reader::new(buf);
+    let n_rep = r.u32("rep count")? as usize;
+    if n_rep.saturating_mul(4) > buf.len() {
+        return Err(CodecError::Corrupt { context: "rep count" });
+    }
+    let mut rep_indices = Vec::with_capacity(n_rep);
+    for _ in 0..n_rep {
+        rep_indices.push(r.u32("rep index")?);
+    }
+    let mut rep_points = Vec::with_capacity(n_rep);
+    for &i in &rep_indices {
+        let p = points
+            .get(i as usize)
+            .ok_or(CodecError::Corrupt { context: "rep index out of range" })?;
+        rep_points.push(*p);
+    }
+    let n_boxes = r.u32("box count")? as usize;
+    if n_boxes.saturating_mul(48) > buf.len() {
+        return Err(CodecError::Corrupt { context: "box count" });
+    }
+    let mut boxes = Vec::with_capacity(n_boxes);
+    for _ in 0..n_boxes {
+        let center = read_point(&mut r, "box center")?;
+        let axis = read_point(&mut r, "box axis")?;
+        let half_u = r.f64("box half_u")?;
+        let half_v = r.f64("box half_v")?;
+        boxes.push(OrientedBox { center, axis, half_u, half_v });
+    }
+    if !r.finished() {
+        return Err(CodecError::Corrupt { context: "trailing bytes after features" });
+    }
+    Ok(DpFeatures { rep_indices, rep_points, boxes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trajectory;
+
+    fn sample_points() -> Vec<Point> {
+        (0..20)
+            .map(|i| Point::new(i as f64 * 0.5, ((i * 7) % 5) as f64 - 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn points_roundtrip() {
+        let pts = sample_points();
+        let enc = encode_points(&pts);
+        assert_eq!(decode_points(&enc).unwrap(), pts);
+    }
+
+    #[test]
+    fn empty_points_roundtrip() {
+        let enc = encode_points(&[]);
+        assert_eq!(decode_points(&enc).unwrap(), Vec::<Point>::new());
+    }
+
+    #[test]
+    fn truncated_points_error() {
+        let pts = sample_points();
+        let enc = encode_points(&pts);
+        for cut in [1, 3, enc.len() - 1] {
+            assert!(matches!(
+                decode_points(&enc[..cut]),
+                Err(CodecError::Truncated { .. }) | Err(CodecError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = encode_points(&sample_points());
+        enc.push(0xFF);
+        assert!(matches!(decode_points(&enc), Err(CodecError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn oversized_count_rejected_without_allocation() {
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_points(&enc), Err(CodecError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let pts = sample_points();
+        let traj = Trajectory::new(1, pts.clone());
+        let f = DpFeatures::extract(&traj, 0.5);
+        let enc = encode_features(&f);
+        let dec = decode_features(&enc, &pts).unwrap();
+        assert_eq!(dec, f);
+    }
+
+    #[test]
+    fn features_with_bad_index_rejected() {
+        let pts = sample_points();
+        let traj = Trajectory::new(1, pts.clone());
+        let f = DpFeatures::extract(&traj, 0.5);
+        let enc = encode_features(&f);
+        // Decoding against a shorter point column invalidates indices.
+        assert!(matches!(
+            decode_features(&enc, &pts[..1]),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn single_point_features_roundtrip() {
+        let pts = vec![Point::new(1.0, 2.0)];
+        let traj = Trajectory::new(9, pts.clone());
+        let f = DpFeatures::extract(&traj, 0.01);
+        let dec = decode_features(&encode_features(&f), &pts).unwrap();
+        assert_eq!(dec, f);
+        assert!(dec.boxes.is_empty());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // 20 points => 4 + 320 bytes exactly; no serialization overhead.
+        let pts = sample_points();
+        assert_eq!(encode_points(&pts).len(), 4 + 20 * 16);
+    }
+}

@@ -1,0 +1,194 @@
+//! Trajectory import/export.
+//!
+//! Two text formats:
+//!
+//! * **Generic CSV** — `tid,lon,lat` per point, points grouped by
+//!   consecutive `tid` runs ([`read_csv`] / [`write_csv`]). The round-trip
+//!   format for this repository.
+//! * **T-Drive release format** — `taxi_id,datetime,longitude,latitude`
+//!   ([`read_tdrive`]), so the real dataset drops in for the synthetic
+//!   generator when available.
+//!
+//! Parsers are tolerant: malformed lines and non-finite coordinates are
+//! counted and skipped rather than aborting a multi-gigabyte import.
+
+use crate::{Trajectory, TrajectoryId};
+use std::io::{BufRead, Write};
+use trass_geo::Point;
+
+/// Statistics of a tolerant import.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Trajectories produced.
+    pub trajectories: usize,
+    /// Points accepted.
+    pub points: usize,
+    /// Lines skipped (malformed, non-finite, empty).
+    pub skipped: usize,
+}
+
+/// Reads `tid,lon,lat` CSV. Consecutive rows with the same `tid` form one
+/// trajectory; a `tid` reappearing later starts a new trajectory with the
+/// same id (callers may re-id them).
+pub fn read_csv<R: BufRead>(reader: R) -> std::io::Result<(Vec<Trajectory>, ImportReport)> {
+    let mut report = ImportReport::default();
+    let mut out: Vec<Trajectory> = Vec::new();
+    let mut current: Option<(TrajectoryId, Vec<Point>)> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            report.skipped += 1;
+            continue;
+        }
+        let mut fields = line.split(',');
+        let parsed = (|| {
+            let tid: TrajectoryId = fields.next()?.trim().parse().ok()?;
+            let lon: f64 = fields.next()?.trim().parse().ok()?;
+            let lat: f64 = fields.next()?.trim().parse().ok()?;
+            let p = Point::new(lon, lat);
+            p.is_finite().then_some((tid, p))
+        })();
+        let Some((tid, p)) = parsed else {
+            report.skipped += 1;
+            continue;
+        };
+        report.points += 1;
+        match &mut current {
+            Some((cur_id, pts)) if *cur_id == tid => pts.push(p),
+            _ => {
+                flush(&mut current, &mut out, &mut report);
+                current = Some((tid, vec![p]));
+            }
+        }
+    }
+    flush(&mut current, &mut out, &mut report);
+    Ok((out, report))
+}
+
+fn flush(
+    current: &mut Option<(TrajectoryId, Vec<Point>)>,
+    out: &mut Vec<Trajectory>,
+    report: &mut ImportReport,
+) {
+    if let Some((tid, pts)) = current.take() {
+        if let Some(t) = Trajectory::try_new(tid, pts) {
+            out.push(t);
+            report.trajectories += 1;
+        }
+    }
+}
+
+/// Writes `tid,lon,lat` CSV readable by [`read_csv`].
+pub fn write_csv<W: Write>(writer: &mut W, trajectories: &[Trajectory]) -> std::io::Result<()> {
+    for t in trajectories {
+        for p in t.points() {
+            writeln!(writer, "{},{},{}", t.id, p.x, p.y)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the T-Drive release format: `taxi_id,datetime,longitude,latitude`
+/// per line, one file usually per taxi. The datetime column is ignored
+/// (TraSS indexes geometry only).
+pub fn read_tdrive<R: BufRead>(reader: R) -> std::io::Result<(Vec<Trajectory>, ImportReport)> {
+    let mut report = ImportReport::default();
+    let mut out: Vec<Trajectory> = Vec::new();
+    let mut current: Option<(TrajectoryId, Vec<Point>)> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            report.skipped += 1;
+            continue;
+        }
+        let mut fields = line.split(',');
+        let parsed = (|| {
+            let tid: TrajectoryId = fields.next()?.trim().parse().ok()?;
+            let _datetime = fields.next()?;
+            let lon: f64 = fields.next()?.trim().parse().ok()?;
+            let lat: f64 = fields.next()?.trim().parse().ok()?;
+            let p = Point::new(lon, lat);
+            p.is_finite().then_some((tid, p))
+        })();
+        let Some((tid, p)) = parsed else {
+            report.skipped += 1;
+            continue;
+        };
+        report.points += 1;
+        match &mut current {
+            Some((cur_id, pts)) if *cur_id == tid => pts.push(p),
+            _ => {
+                flush(&mut current, &mut out, &mut report);
+                current = Some((tid, vec![p]));
+            }
+        }
+    }
+    flush(&mut current, &mut out, &mut report);
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn csv_roundtrip() {
+        let data = crate::generator::tdrive_like(17, 20);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &data).unwrap();
+        let (back, report) = read_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.len(), data.len());
+        assert_eq!(report.trajectories, data.len());
+        assert_eq!(report.skipped, 0);
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.points(), b.points());
+        }
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        let input = "1,116.3,39.9\nnot-a-line\n1,116.31,39.91\n1,NaN,39.9\n\n2,117.0,40.0\n";
+        let (trajs, report) = read_csv(BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].len(), 2);
+        assert_eq!(trajs[1].len(), 1);
+        assert_eq!(report.points, 3);
+        assert_eq!(report.skipped, 3);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let input = "# header\n5,1.0,2.0\n";
+        let (trajs, report) = read_csv(BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(trajs.len(), 1);
+        assert_eq!(trajs[0].id, 5);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn tdrive_format_parses() {
+        let input = "\
+366,2008-02-02 15:36:08,116.51172,39.92123
+366,2008-02-02 15:46:08,116.51135,39.93883
+368,2008-02-02 15:20:00,116.30000,39.90000
+";
+        let (trajs, report) = read_tdrive(BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].id, 366);
+        assert_eq!(trajs[0].len(), 2);
+        assert!((trajs[0].points()[0].x - 116.51172).abs() < 1e-9);
+        assert_eq!(trajs[1].id, 368);
+        assert_eq!(report.points, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (trajs, report) = read_csv(BufReader::new(&b""[..])).unwrap();
+        assert!(trajs.is_empty());
+        assert_eq!(report, ImportReport::default());
+    }
+}

@@ -1,0 +1,103 @@
+//! Edit Distance on Real sequence (EDR).
+//!
+//! Counts the minimum number of edit operations (insert, delete,
+//! substitute) needed to align two trajectories, where two points "match"
+//! when within a tolerance `tau`. Robust to outliers, used widely in
+//! trajectory analytics; another of the paper's future-work metrics.
+//!
+//! Like ERP, EDR is a refinement-only kernel here: it is a *count*, not a
+//! geometric distance, so Lemma 5 does not apply and it cannot drive
+//! TraSS's index pruning.
+
+use trass_geo::Point;
+
+/// Exact EDR with matching tolerance `tau`. Returns the edit count
+/// (0 ..= max(n, m)).
+///
+/// # Panics
+/// Panics if either sequence is empty or `tau` is negative.
+pub fn distance(a: &[Point], b: &[Point], tau: f64) -> usize {
+    assert!(!a.is_empty() && !b.is_empty(), "EDR distance of empty sequence");
+    assert!(tau >= 0.0, "negative EDR tolerance");
+    let (n, m) = (a.len(), b.len());
+    let tau_sq = tau * tau;
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let subcost = usize::from(a[i - 1].distance_sq(&b[j - 1]) > tau_sq);
+            curr[j] = (prev[j] + 1)
+                .min(curr[j - 1] + 1)
+                .min(prev[j - 1] + subcost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Normalized EDR similarity in `[0, 1]`: `1 − edr / max(n, m)`
+/// (1 = within-tolerance identical).
+pub fn similarity(a: &[Point], b: &[Point], tau: f64) -> f64 {
+    let edits = distance(a, b, tau) as f64;
+    1.0 - edits / a.len().max(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_within_tolerance_is_zero() {
+        let a = pts(&[(1.0, 1.0), (2.0, 2.0), (3.0, 1.0)]);
+        let mut b = a.clone();
+        for p in &mut b {
+            p.x += 0.05;
+        }
+        assert_eq!(distance(&a, &b, 0.1), 0);
+        assert_eq!(similarity(&a, &b, 0.1), 1.0);
+    }
+
+    #[test]
+    fn completely_different_costs_max_len() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(100.0, 100.0), (101.0, 100.0), (102.0, 100.0)]);
+        assert_eq!(distance(&a, &b, 0.5), 3);
+        assert_eq!(similarity(&a, &b, 0.5), 0.0);
+    }
+
+    #[test]
+    fn single_outlier_costs_one_edit() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let mut b = a.clone();
+        b[1] = Point::new(1.0, 50.0); // GPS glitch
+        assert_eq!(distance(&a, &b, 0.1), 1, "EDR absorbs one outlier as one edit");
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (0.5, 5.0), (1.0, 0.0)]);
+        assert_eq!(distance(&a, &b, 0.1), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        let b = pts(&[(0.2, 0.1), (1.4, 0.9)]);
+        assert_eq!(distance(&a, &b, 0.3), distance(&b, &a, 0.3));
+    }
+
+    #[test]
+    fn zero_tolerance_is_strict() {
+        let a = pts(&[(1.0, 1.0)]);
+        let b = pts(&[(1.0, 1.0)]);
+        assert_eq!(distance(&a, &b, 0.0), 0, "exact equality matches at tau = 0");
+        let c = pts(&[(1.0, 1.0 + 1e-9)]);
+        assert_eq!(distance(&a, &c, 0.0), 1);
+    }
+}

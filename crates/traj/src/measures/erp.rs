@@ -1,0 +1,108 @@
+//! Edit distance with Real Penalty (ERP).
+//!
+//! One of the "other metrics" the paper's conclusion leaves as future
+//! work. ERP aligns two sequences allowing *gaps*, each paid at the
+//! distance to a fixed gap point `g`; unlike DTW it is a true metric.
+//!
+//! ERP is provided as a refinement kernel only: Lemma 5 (the any-point
+//! lower bound TraSS's pruning relies on) does not hold for ERP in
+//! general, so it is not part of the [`super::Measure`] enum that drives
+//! index pruning. Callers can still use it to re-rank candidate sets
+//! produced under a pruning-safe measure.
+
+use trass_geo::Point;
+
+/// Exact ERP distance with gap point `g`.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn distance(a: &[Point], b: &[Point], g: Point) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "ERP distance of empty sequence");
+    let (n, m) = (a.len(), b.len());
+    // prev[j] = erp(i-1, j); gap row/column initialisation: deleting the
+    // first j points of b costs sum d(b_j, g).
+    let mut prev = vec![0.0f64; m + 1];
+    let mut curr = vec![0.0f64; m + 1];
+    for j in 1..=m {
+        prev[j] = prev[j - 1] + b[j - 1].distance(&g);
+    }
+    for i in 1..=n {
+        curr[0] = prev[0] + a[i - 1].distance(&g);
+        for j in 1..=m {
+            let del_a = prev[j] + a[i - 1].distance(&g);
+            let del_b = curr[j - 1] + b[j - 1].distance(&g);
+            let align = prev[j - 1] + a[i - 1].distance(&b[j - 1]);
+            curr[j] = del_a.min(del_b).min(align);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// ERP with the conventional gap point at the origin.
+pub fn distance_origin_gap(a: &[Point], b: &[Point]) -> f64 {
+    distance(a, b, Point::ORIGIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_zero() {
+        let a = pts(&[(1.0, 1.0), (2.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(distance(&a, &a, Point::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = pts(&[(1.0, 0.0), (2.0, 1.0), (3.0, 0.0)]);
+        let b = pts(&[(1.5, 0.2), (2.5, 0.8)]);
+        let g = Point::new(0.0, 0.0);
+        assert!((distance(&a, &b, g) - distance(&b, &a, g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_penalty_applies_to_unmatched_points() {
+        // b = a plus one extra point far from the gap origin: aligning
+        // must pay that point's distance to g.
+        let a = pts(&[(1.0, 0.0)]);
+        let b = pts(&[(1.0, 0.0), (5.0, 0.0)]);
+        let d = distance(&a, &b, Point::ORIGIN);
+        assert!((d - 5.0).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        // ERP is a metric; check the triangle inequality over a few
+        // hand-built triples.
+        let g = Point::ORIGIN;
+        let xs = [
+            pts(&[(1.0, 1.0), (2.0, 1.0)]),
+            pts(&[(1.5, 1.2), (2.5, 0.8), (3.0, 1.0)]),
+            pts(&[(0.5, 0.5)]),
+        ];
+        for a in &xs {
+            for b in &xs {
+                for c in &xs {
+                    let ab = distance(a, b, g);
+                    let bc = distance(b, c, g);
+                    let ac = distance(a, c, g);
+                    assert!(ac <= ab + bc + 1e-9, "triangle violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn origin_gap_helper() {
+        let a = pts(&[(3.0, 4.0)]);
+        let b = pts(&[(3.0, 4.0), (0.0, 0.0)]);
+        // The extra (0,0) point is free under an origin gap.
+        assert_eq!(distance_origin_gap(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Discrete Fréchet distance (§II, Definition 2).
+//!
+//! The classic "man walks dog" coupling distance over point sequences.
+//! `distance` is the exact O(n·m) dynamic program with a rolling row;
+//! `within` is the reachability decision version, which only needs boolean
+//! state and abandons as soon as an entire row becomes unreachable.
+
+use trass_geo::Point;
+
+/// Exact discrete Fréchet distance between two non-empty point sequences.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn distance(a: &[Point], b: &[Point]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "Fréchet distance of empty sequence");
+    let (n, m) = (a.len(), b.len());
+    // Work in squared distances; take one sqrt at the end.
+    let mut prev = vec![0.0f64; m];
+    let mut curr = vec![0.0f64; m];
+
+    prev[0] = a[0].distance_sq(&b[0]);
+    for j in 1..m {
+        prev[j] = prev[j - 1].max(a[0].distance_sq(&b[j]));
+    }
+    for i in 1..n {
+        curr[0] = prev[0].max(a[i].distance_sq(&b[0]));
+        for j in 1..m {
+            let reach = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = reach.max(a[i].distance_sq(&b[j]));
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1].sqrt()
+}
+
+/// Decides `distance(a, b) <= eps` via free-space reachability, abandoning
+/// early when no cell of a row is reachable.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn within(a: &[Point], b: &[Point], eps: f64) -> bool {
+    assert!(!a.is_empty() && !b.is_empty(), "Fréchet decision of empty sequence");
+    if eps < 0.0 {
+        return false;
+    }
+    let (n, m) = (a.len(), b.len());
+    let eps_sq = eps * eps;
+    // Quick necessary conditions: endpoints must couple.
+    if a[0].distance_sq(&b[0]) > eps_sq || a[n - 1].distance_sq(&b[m - 1]) > eps_sq {
+        return false;
+    }
+
+    let mut prev = vec![false; m];
+    let mut curr = vec![false; m];
+    prev[0] = true; // endpoint check above guarantees d(a0,b0) <= eps
+    for j in 1..m {
+        prev[j] = prev[j - 1] && a[0].distance_sq(&b[j]) <= eps_sq;
+    }
+    for i in 1..n {
+        curr[0] = prev[0] && a[i].distance_sq(&b[0]) <= eps_sq;
+        let mut any = curr[0];
+        for j in 1..m {
+            let reach = prev[j] || curr[j - 1] || prev[j - 1];
+            curr[j] = reach && a[i].distance_sq(&b[j]) <= eps_sq;
+            any |= curr[j];
+        }
+        if !any {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = pts(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(distance(&a, &a), 0.0);
+        assert!(within(&a, &a, 0.0));
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_offset() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let b = pts(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]);
+        assert!((distance(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_vs_sequence_is_max_distance() {
+        // Definition 2, case n = 1: max over all points.
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(1.0, 0.0), (5.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(distance(&a, &b), 5.0);
+        assert_eq!(distance(&b, &a), 5.0);
+    }
+
+    #[test]
+    fn frechet_is_symmetric() {
+        let a = pts(&[(0.0, 0.0), (2.0, 1.0), (4.0, 0.5)]);
+        let b = pts(&[(0.5, -1.0), (2.5, 0.0), (3.5, 2.0), (4.5, 0.0)]);
+        assert_eq!(distance(&a, &b), distance(&b, &a));
+    }
+
+    #[test]
+    fn frechet_exceeds_endpoint_distances() {
+        // Lemma 12's basis: D_F >= d(q1, t1) and D_F >= d(qn, tm).
+        let a = pts(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = pts(&[(1.0, 0.0), (5.0, 7.0)]);
+        let d = distance(&a, &b);
+        assert!(d >= a[0].distance(&b[0]));
+        assert!(d >= a[1].distance(&b[1]));
+    }
+
+    #[test]
+    fn backtracking_dog_example() {
+        // Classic case where Fréchet > Hausdorff: matching must be monotone.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (4.0, 1.0), (0.0, 1.0), (4.0, 1.0)]);
+        let d = distance(&a, &b);
+        // Monotone coupling forces a pairing at horizontal distance >= 2.
+        assert!(d > 2.0, "d = {d}");
+    }
+
+    #[test]
+    fn within_matches_distance_on_grid() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.3), (2.0, -0.4), (3.0, 0.1), (4.0, 0.0)]);
+        let b = pts(&[(0.2, 0.5), (1.4, -0.3), (2.4, 0.6), (3.8, -0.5)]);
+        let d = distance(&a, &b);
+        for scale in [0.5, 0.9, 0.999, 1.001, 1.1, 2.0] {
+            let eps = d * scale;
+            assert_eq!(within(&a, &b, eps), d <= eps, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn within_rejects_negative_eps() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert!(!within(&a, &a, -1.0));
+    }
+
+    #[test]
+    fn within_abandons_on_far_endpoints() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(100.0, 0.0), (101.0, 0.0)]);
+        assert!(!within(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn single_point_both_sides() {
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(3.0, 4.0)]);
+        assert_eq!(distance(&a, &b), 5.0);
+        assert!(within(&a, &b, 5.0));
+        assert!(!within(&a, &b, 4.999));
+    }
+}

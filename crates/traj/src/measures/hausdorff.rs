@@ -1,0 +1,132 @@
+//! Symmetric Hausdorff distance over point sets (§VII, Definition 12).
+
+use trass_geo::Point;
+
+/// Directed Hausdorff distance `max_{p∈a} min_{q∈b} d(p, q)`.
+///
+/// Uses the standard early-break trick: the inner scan stops as soon as a
+/// candidate closer than the current outer maximum is found, which makes the
+/// average case far cheaper than O(n·m) on real trajectories.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn directed(a: &[Point], b: &[Point]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "Hausdorff distance of empty sequence");
+    let mut cmax_sq = 0.0f64;
+    for p in a {
+        let mut cmin_sq = f64::INFINITY;
+        for q in b {
+            let d = p.distance_sq(q);
+            if d < cmax_sq {
+                // This p cannot raise the max; skip the rest of b.
+                cmin_sq = d;
+                break;
+            }
+            if d < cmin_sq {
+                cmin_sq = d;
+            }
+        }
+        if cmin_sq > cmax_sq && cmin_sq.is_finite() {
+            cmax_sq = cmin_sq;
+        }
+    }
+    cmax_sq.sqrt()
+}
+
+/// Symmetric Hausdorff distance `max(directed(a,b), directed(b,a))`.
+pub fn distance(a: &[Point], b: &[Point]) -> f64 {
+    directed(a, b).max(directed(b, a))
+}
+
+/// Decides `distance(a, b) <= eps`, abandoning at the first witness point
+/// with no partner within `eps`.
+pub fn within(a: &[Point], b: &[Point], eps: f64) -> bool {
+    if eps < 0.0 {
+        return false;
+    }
+    let eps_sq = eps * eps;
+    directed_within_sq(a, b, eps_sq) && directed_within_sq(b, a, eps_sq)
+}
+
+fn directed_within_sq(a: &[Point], b: &[Point], eps_sq: f64) -> bool {
+    'outer: for p in a {
+        for q in b {
+            if p.distance_sq(q) <= eps_sq {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(distance(&a, &a), 0.0);
+        assert!(within(&a, &a, 0.0));
+    }
+
+    #[test]
+    fn directed_is_asymmetric() {
+        // b contains a's points plus a far outlier.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(directed(&a, &b), 0.0);
+        assert_eq!(directed(&b, &a), 9.0);
+        assert_eq!(distance(&a, &b), 9.0);
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_offset() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)]);
+        assert_eq!(distance(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn hausdorff_ignores_ordering() {
+        // Unlike Fréchet, Hausdorff is a set distance.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let rev = pts(&[(2.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        assert_eq!(distance(&a, &rev), 0.0);
+    }
+
+    #[test]
+    fn hausdorff_is_at_most_frechet() {
+        use super::super::frechet;
+        let a = pts(&[(0.0, 0.0), (1.0, 0.5), (2.0, -0.5), (3.0, 0.0)]);
+        let b = pts(&[(0.3, 0.1), (1.5, -0.2), (2.5, 0.7), (3.3, 0.2)]);
+        assert!(distance(&a, &b) <= frechet::distance(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn within_matches_distance() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.3), (2.0, -0.4)]);
+        let b = pts(&[(0.2, 0.5), (1.4, -0.3), (2.4, 0.6), (3.8, -0.5)]);
+        let d = distance(&a, &b);
+        assert!(within(&a, &b, d + 1e-9));
+        assert!(!within(&a, &b, d - 1e-9));
+    }
+
+    #[test]
+    fn within_rejects_negative_eps() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert!(!within(&a, &a, -0.1));
+    }
+
+    #[test]
+    fn single_points() {
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(3.0, 4.0)]);
+        assert_eq!(distance(&a, &b), 5.0);
+    }
+}

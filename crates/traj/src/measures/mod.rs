@@ -1,0 +1,156 @@
+//! Trajectory similarity measures.
+//!
+//! TraSS adopts classic measures rather than inventing one (§II): discrete
+//! Fréchet distance is the default, with Hausdorff and DTW supported through
+//! the §VII extension. Each measure exposes two kernels:
+//!
+//! * an **exact** kernel (`distance`) used when the measure value itself is
+//!   needed (e.g. ranking in top-k search), and
+//! * a **decision** kernel (`within`) that answers `f(Q,T) ≤ ε` with early
+//!   abandoning, used by threshold-search refinement where the exact value
+//!   is irrelevant once the threshold is exceeded.
+//!
+//! All kernels operate on point slices so they can run against borrowed
+//! storage without copying.
+
+pub mod dtw;
+pub mod edr;
+pub mod erp;
+pub mod frechet;
+pub mod hausdorff;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use trass_geo::Point;
+
+/// The similarity measure used by a query (§II + §VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Measure {
+    /// Discrete Fréchet distance (default).
+    Frechet,
+    /// Symmetric Hausdorff distance.
+    Hausdorff,
+    /// Dynamic Time Warping (a *sum* of distances, unlike the other two).
+    Dtw,
+}
+
+impl Measure {
+    /// Exact measure value between two point sequences.
+    ///
+    /// # Panics
+    /// Panics if either sequence is empty.
+    pub fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
+        match self {
+            Measure::Frechet => frechet::distance(a, b),
+            Measure::Hausdorff => hausdorff::distance(a, b),
+            Measure::Dtw => dtw::distance(a, b),
+        }
+    }
+
+    /// Decides `distance(a, b) <= eps` with early abandoning.
+    pub fn within(&self, a: &[Point], b: &[Point], eps: f64) -> bool {
+        match self {
+            Measure::Frechet => frechet::within(a, b, eps),
+            Measure::Hausdorff => hausdorff::within(a, b, eps),
+            Measure::Dtw => dtw::within(a, b, eps),
+        }
+    }
+
+    /// Whether Lemma 12 (start/end point filter) is sound for this measure.
+    ///
+    /// Fréchet and DTW both force the first and last points to match
+    /// (`D ≥ d(q_1,t_1)` and `D ≥ d(q_n,t_m)`); Hausdorff does not (§VII-A).
+    pub fn supports_endpoint_lemma(&self) -> bool {
+        !matches!(self, Measure::Hausdorff)
+    }
+
+    /// Whether Lemma 5 (any-point lower bound: `∃t∈T₁, d(t,T₂) > ε ⇒
+    /// f(T₁,T₂) > ε`) is sound for this measure.
+    ///
+    /// It holds for all three supported measures (§V-B, §VII), so global
+    /// pruning and local filtering apply unchanged. Kept explicit so a
+    /// future measure without the property fails safe.
+    pub fn supports_point_lower_bound(&self) -> bool {
+        true
+    }
+}
+
+impl Default for Measure {
+    fn default() -> Self {
+        Measure::Frechet
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Measure::Frechet => "frechet",
+            Measure::Hausdorff => "hausdorff",
+            Measure::Dtw => "dtw",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Measure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "frechet" | "fréchet" => Ok(Measure::Frechet),
+            "hausdorff" => Ok(Measure::Hausdorff),
+            "dtw" => Ok(Measure::Dtw),
+            other => Err(format!("unknown measure: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for m in [Measure::Frechet, Measure::Hausdorff, Measure::Dtw] {
+            assert_eq!(m.to_string().parse::<Measure>().unwrap(), m);
+        }
+        assert!("euclid".parse::<Measure>().is_err());
+    }
+
+    #[test]
+    fn default_is_frechet() {
+        assert_eq!(Measure::default(), Measure::Frechet);
+    }
+
+    #[test]
+    fn endpoint_lemma_support_matches_paper() {
+        assert!(Measure::Frechet.supports_endpoint_lemma());
+        assert!(Measure::Dtw.supports_endpoint_lemma());
+        assert!(!Measure::Hausdorff.supports_endpoint_lemma());
+    }
+
+    #[test]
+    fn dispatch_agrees_with_kernels() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(Measure::Frechet.distance(&a, &b), frechet::distance(&a, &b));
+        assert_eq!(Measure::Hausdorff.distance(&a, &b), hausdorff::distance(&a, &b));
+        assert_eq!(Measure::Dtw.distance(&a, &b), dtw::distance(&a, &b));
+    }
+
+    #[test]
+    fn within_consistent_with_distance() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.2), (2.0, -0.1), (3.0, 0.0)]);
+        let b = pts(&[(0.1, 0.4), (1.2, 0.1), (2.2, 0.3), (3.1, -0.2)]);
+        for m in [Measure::Frechet, Measure::Hausdorff, Measure::Dtw] {
+            let d = m.distance(&a, &b);
+            assert!(m.within(&a, &b, d + 1e-9), "{m} within failed at d+");
+            assert!(!m.within(&a, &b, d - 1e-9), "{m} within failed at d-");
+        }
+    }
+}

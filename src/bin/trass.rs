@@ -1,0 +1,291 @@
+//! `trass` — command-line interface to a TraSS deployment.
+//!
+//! ```text
+//! trass load   --data <dir> --csv <file> [--extent lon0,lat0,lon1,lat1]
+//! trass sim    --data <dir> --query <tid> --eps <deg> [--measure frechet|hausdorff|dtw]
+//! trass topk   --data <dir> --query <tid> --k <n> [--measure ...]
+//! trass range  --data <dir> --window lon0,lat0,lon1,lat1
+//! trass get    --data <dir> --tid <id>
+//! trass stats  --data <dir>
+//! ```
+//!
+//! The deployment lives under `--data`: a sharded on-disk LSM cluster plus
+//! a small `config.json` describing the index (resolution, shards, extent)
+//! so reopen uses the exact same space.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::geo::{Mbr, NormalizedSpace};
+use trass::kv::StoreOptions;
+use trass::traj::{io as traj_io, Measure};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match run(&cmd, &flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  trass load   --data <dir> --csv <file> [--extent lon0,lat0,lon1,lat1] [--resolution N] [--shards N]
+  trass sim    --data <dir> --query <tid> --eps <deg> [--measure frechet|hausdorff|dtw]
+  trass topk   --data <dir> --query <tid> --k <n> [--measure ...]
+  trass range  --data <dir> --window lon0,lat0,lon1,lat1
+  trass get    --data <dir> --tid <id>
+  trass stats  --data <dir>";
+
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let cmd = args.first()?.clone();
+    let mut flags = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Some((cmd, flags))
+}
+
+fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let data_dir = PathBuf::from(flags.get("data").ok_or("--data <dir> is required")?);
+    match cmd {
+        "load" => load(&data_dir, flags),
+        "sim" | "topk" | "range" | "get" | "stats" => {
+            let store = open_store(&data_dir)?;
+            match cmd {
+                "sim" => sim(&store, flags),
+                "topk" => topk(&store, flags),
+                "range" => range(&store, flags),
+                "get" => get(&store, flags),
+                "stats" => stats(&store),
+                _ => unreachable!(),
+            }
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    }
+}
+
+fn config_path(dir: &Path) -> PathBuf {
+    dir.join("config.json")
+}
+
+/// Persisted deployment parameters (the parts of `TrassConfig` that must
+/// agree across sessions).
+fn save_config(dir: &Path, cfg: &TrassConfig) -> Result<(), String> {
+    let e = cfg.space.extent;
+    let json = format!(
+        r#"{{"max_resolution":{},"shards":{},"extent":[{},{},{},{}],"dp_theta":{}}}"#,
+        cfg.max_resolution, cfg.shards, e.min_x, e.min_y, e.max_x, e.max_y, cfg.dp_theta
+    );
+    std::fs::write(config_path(dir), json).map_err(|e| e.to_string())
+}
+
+fn load_config(dir: &Path) -> Result<TrassConfig, String> {
+    let text = std::fs::read_to_string(config_path(dir))
+        .map_err(|_| format!("no deployment at {} (run `trass load` first)", dir.display()))?;
+    let grab = |key: &str| -> Result<f64, String> {
+        let pat = format!("\"{key}\":");
+        let start = text.find(&pat).ok_or(format!("config missing {key}"))? + pat.len();
+        let rest = &text[start..];
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        rest[..end].trim().parse().map_err(|_| format!("bad {key} in config"))
+    };
+    let extent_start = text.find("\"extent\":[").ok_or("config missing extent")? + 10;
+    let extent_end = text[extent_start..].find(']').ok_or("bad extent")? + extent_start;
+    let nums: Vec<f64> = text[extent_start..extent_end]
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| "bad extent number".to_string()))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 4 {
+        return Err("extent must have 4 numbers".into());
+    }
+    Ok(TrassConfig {
+        max_resolution: grab("max_resolution")? as u8,
+        shards: grab("shards")? as u8,
+        dp_theta: grab("dp_theta")?,
+        space: NormalizedSpace::square(Mbr::new(nums[0], nums[1], nums[2], nums[3])),
+        store: StoreOptions::at_dir(dir.join("kv")),
+        ..TrassConfig::default()
+    })
+}
+
+fn open_store(dir: &Path) -> Result<TrajectoryStore, String> {
+    let cfg = load_config(dir)?;
+    TrajectoryStore::open(cfg).map_err(|e| e.to_string())
+}
+
+fn parse_mbr(spec: &str) -> Result<Mbr, String> {
+    let nums: Vec<f64> = spec
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad number in '{spec}'")))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 4 {
+        return Err("expected lon0,lat0,lon1,lat1".into());
+    }
+    Ok(Mbr::from_corners(
+        trass::geo::Point::new(nums[0], nums[1]),
+        trass::geo::Point::new(nums[2], nums[3]),
+    ))
+}
+
+fn parse_measure(flags: &HashMap<String, String>) -> Result<Measure, String> {
+    flags
+        .get("measure")
+        .map(|m| m.parse::<Measure>())
+        .transpose()?
+        .map_or(Ok(Measure::Frechet), Ok)
+}
+
+fn load(dir: &Path, flags: &HashMap<String, String>) -> Result<(), String> {
+    let csv = flags.get("csv").ok_or("--csv <file> is required")?;
+    let file = std::fs::File::open(csv).map_err(|e| format!("open {csv}: {e}"))?;
+    let (trajectories, report) =
+        traj_io::read_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    if trajectories.is_empty() {
+        return Err("no trajectories in input".into());
+    }
+    let extent = match flags.get("extent") {
+        Some(spec) => parse_mbr(spec)?,
+        None => trajectories
+            .iter()
+            .map(|t| t.mbr())
+            .reduce(|a, b| a.union(&b))
+            .expect("non-empty")
+            .extended(0.01),
+    };
+    let cfg = TrassConfig {
+        max_resolution: flags
+            .get("resolution")
+            .map(|r| r.parse().map_err(|_| "bad --resolution"))
+            .transpose()?
+            .unwrap_or(16),
+        shards: flags
+            .get("shards")
+            .map(|s| s.parse().map_err(|_| "bad --shards"))
+            .transpose()?
+            .unwrap_or(8),
+        space: NormalizedSpace::square(extent),
+        store: StoreOptions::at_dir(dir.join("kv")),
+        ..TrassConfig::default()
+    };
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    save_config(dir, &cfg)?;
+    let store = TrajectoryStore::open(cfg).map_err(|e| e.to_string())?;
+    let n = store.insert_all(&trajectories).map_err(|e| e.to_string())?;
+    store.flush().map_err(|e| e.to_string())?;
+    println!(
+        "loaded {n} trajectories ({} points, {} lines skipped) into {}",
+        report.points,
+        report.skipped,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn query_trajectory(
+    store: &TrajectoryStore,
+    flags: &HashMap<String, String>,
+) -> Result<trass::traj::Trajectory, String> {
+    let tid: u64 = flags
+        .get("query")
+        .ok_or("--query <tid> is required")?
+        .parse()
+        .map_err(|_| "bad --query id")?;
+    store
+        .get(tid)
+        .map_err(|e| e.to_string())?
+        .ok_or(format!("trajectory {tid} not found"))
+}
+
+fn sim(store: &TrajectoryStore, flags: &HashMap<String, String>) -> Result<(), String> {
+    let q = query_trajectory(store, flags)?;
+    let eps: f64 =
+        flags.get("eps").ok_or("--eps <deg> is required")?.parse().map_err(|_| "bad --eps")?;
+    let measure = parse_measure(flags)?;
+    let r = query::threshold_search(store, &q, eps, measure).map_err(|e| e.to_string())?;
+    println!("{} matches within {eps}° ({measure}):", r.results.len());
+    for (tid, d) in &r.results {
+        println!("  {tid}\t{d:.6}");
+    }
+    print_stats(&r.stats);
+    Ok(())
+}
+
+fn topk(store: &TrajectoryStore, flags: &HashMap<String, String>) -> Result<(), String> {
+    let q = query_trajectory(store, flags)?;
+    let k: usize = flags.get("k").ok_or("--k <n> is required")?.parse().map_err(|_| "bad --k")?;
+    let measure = parse_measure(flags)?;
+    let r = query::top_k_search(store, &q, k, measure).map_err(|e| e.to_string())?;
+    println!("top-{k} ({measure}):");
+    for (tid, d) in &r.results {
+        println!("  {tid}\t{d:.6}");
+    }
+    print_stats(&r.stats);
+    Ok(())
+}
+
+fn range(store: &TrajectoryStore, flags: &HashMap<String, String>) -> Result<(), String> {
+    let window = parse_mbr(flags.get("window").ok_or("--window is required")?)?;
+    let r = query::range_search(store, &window).map_err(|e| e.to_string())?;
+    println!("{} trajectories intersect the window:", r.results.len());
+    for (tid, _) in &r.results {
+        println!("  {tid}");
+    }
+    print_stats(&r.stats);
+    Ok(())
+}
+
+fn get(store: &TrajectoryStore, flags: &HashMap<String, String>) -> Result<(), String> {
+    let tid: u64 =
+        flags.get("tid").ok_or("--tid <id> is required")?.parse().map_err(|_| "bad --tid")?;
+    match store.get(tid).map_err(|e| e.to_string())? {
+        Some(t) => {
+            println!("trajectory {tid}: {} points", t.len());
+            for p in t.points() {
+                println!("  {},{}", p.x, p.y);
+            }
+            Ok(())
+        }
+        None => Err(format!("trajectory {tid} not found")),
+    }
+}
+
+fn stats(store: &TrajectoryStore) -> Result<(), String> {
+    let counts = store.cluster().region_entry_counts();
+    let total: u64 = counts.iter().sum();
+    println!("regions: {}", counts.len());
+    println!("rows (upper bound incl. shadowed): {total}");
+    for (i, c) in counts.iter().enumerate() {
+        println!("  region {i}: {c}");
+    }
+    let m = store.cluster().metrics_snapshot();
+    println!(
+        "io since open: {} scans, {} rows scanned, {} blocks, {} bytes, {} cache hits",
+        m.range_scans, m.entries_scanned, m.blocks_read, m.bytes_read, m.cache_hits
+    );
+    Ok(())
+}
+
+fn print_stats(s: &trass::core::QueryStats) {
+    println!(
+        "-- {} ranges, {} rows retrieved, {} candidates, precision {:.3}, {:.2} ms total",
+        s.n_ranges,
+        s.retrieved,
+        s.candidates,
+        s.precision(),
+        s.total_time().as_secs_f64() * 1e3
+    );
+}
