@@ -199,10 +199,8 @@ mod tests {
         let q = &data[11];
         let got = e.top_k(q, 10, Measure::Frechet).unwrap();
         assert_eq!(got.results.len(), 10);
-        let mut all: Vec<f64> = data
-            .iter()
-            .map(|t| Measure::Frechet.distance(q.points(), t.points()))
-            .collect();
+        let mut all: Vec<f64> =
+            data.iter().map(|t| Measure::Frechet.distance(q.points(), t.points())).collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in got.results.iter().zip(all.iter()) {
             assert!((got.1 - want).abs() < 1e-9);

@@ -68,8 +68,7 @@ pub trait SimilarityEngine {
 
     /// Threshold similarity search; `None` when the engine does not
     /// support it (REPOSE).
-    fn threshold(&self, query: &Trajectory, eps: f64, measure: Measure)
-        -> Option<EngineResult>;
+    fn threshold(&self, query: &Trajectory, eps: f64, measure: Measure) -> Option<EngineResult>;
 
     /// Top-k similarity search; `None` when unsupported.
     fn top_k(&self, query: &Trajectory, k: usize, measure: Measure) -> Option<EngineResult>;

@@ -110,9 +110,8 @@ impl SimilarityEngine for ReposeEngine {
             q_ed[j] = query.end().distance(r);
         }
         // Order by lower bound, verify until the bound passes the kth best.
-        let mut order: Vec<(f64, usize)> = (0..self.data.len())
-            .map(|i| (self.lower_bound(&q_sd, &q_ed, i), i))
-            .collect();
+        let mut order: Vec<(f64, usize)> =
+            (0..self.data.len()).map(|i| (self.lower_bound(&q_sd, &q_ed, i), i)).collect();
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
 
         let mut best: Vec<(TrajectoryId, f64)> = Vec::new();
@@ -162,10 +161,8 @@ mod tests {
         let q = &data[19];
         let got = e.top_k(q, 10, Measure::Frechet).unwrap();
         assert_eq!(got.results.len(), 10);
-        let mut all: Vec<f64> = data
-            .iter()
-            .map(|t| Measure::Frechet.distance(q.points(), t.points()))
-            .collect();
+        let mut all: Vec<f64> =
+            data.iter().map(|t| Measure::Frechet.distance(q.points(), t.points())).collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in got.results.iter().zip(all.iter()) {
             assert!((got.1 - want).abs() < 1e-9);

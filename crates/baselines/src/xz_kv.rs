@@ -31,12 +31,7 @@ pub struct XzKvConfig {
 
 impl Default for XzKvConfig {
     fn default() -> Self {
-        XzKvConfig {
-            max_resolution: 16,
-            shards: 8,
-            space: trass_geo::WORLD_SQUARE,
-            dp_theta: 0.01,
-        }
+        XzKvConfig { max_resolution: 16, shards: 8, space: trass_geo::WORLD_SQUARE, dp_theta: 0.01 }
     }
 }
 
@@ -56,7 +51,7 @@ impl XzKvEngine {
         let cluster = Cluster::open(ClusterOptions {
             shards: config.shards,
             store: StoreOptions::in_memory(),
-            parallel_scans: true,
+            ..ClusterOptions::default()
         })
         .expect("in-memory cluster always opens");
         let index = Xz2::new(config.max_resolution);
@@ -112,12 +107,7 @@ impl XzKvEngine {
             }
         }
         results.sort_by_key(|&(tid, _)| tid);
-        EngineResult {
-            results,
-            retrieved,
-            candidates: filter.kept(),
-            query_time: t0.elapsed(),
-        }
+        EngineResult { results, retrieved, candidates: filter.kept(), query_time: t0.elapsed() }
     }
 }
 
@@ -197,8 +187,7 @@ impl ScanFilter for MbrEndpointFilter {
         if self.endpoint_check {
             let t_start = row.points[0];
             let t_end = *row.points.last().expect("non-empty");
-            if self.q_start.distance(&t_start) > self.eps
-                || self.q_end.distance(&t_end) > self.eps
+            if self.q_start.distance(&t_start) > self.eps || self.q_end.distance(&t_end) > self.eps
             {
                 return FilterDecision::Skip;
             }
@@ -252,10 +241,8 @@ mod tests {
         let q = &data[42];
         let got = e.top_k(q, 8, Measure::Frechet).unwrap();
         assert_eq!(got.results.len(), 8);
-        let mut all: Vec<f64> = data
-            .iter()
-            .map(|t| Measure::Frechet.distance(q.points(), t.points()))
-            .collect();
+        let mut all: Vec<f64> =
+            data.iter().map(|t| Measure::Frechet.distance(q.points(), t.points())).collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in got.results.iter().zip(all.iter()) {
             assert!((got.1 - want).abs() < 1e-9);

@@ -19,8 +19,7 @@ fn bench_encoding(c: &mut Criterion) {
     let index = XzStar::new(16);
     let xz2 = Xz2::new(16);
     let trajs = sample_trajectories(200);
-    let mbrs: Vec<Mbr> =
-        trajs.iter().map(|t| Mbr::from_points(t.iter()).unwrap()).collect();
+    let mbrs: Vec<Mbr> = trajs.iter().map(|t| Mbr::from_points(t.iter()).unwrap()).collect();
     let spaces: Vec<_> = trajs.iter().map(|t| index.index_points(t)).collect();
     let values: Vec<u64> = spaces.iter().map(|s| index.encode(s)).collect();
 

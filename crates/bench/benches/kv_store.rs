@@ -22,9 +22,7 @@ fn bench_kv(c: &mut Criterion) {
         b.iter(|| {
             let store = LsmStore::open(StoreOptions::in_memory()).expect("open");
             for i in 0..10_000u32 {
-                store
-                    .put(format!("key-{i:08}"), format!("value-{i}"))
-                    .expect("put");
+                store.put(format!("key-{i:08}"), format!("value-{i}")).expect("put");
             }
             black_box(store.memtable_len());
         })

@@ -23,8 +23,7 @@ fn main() {
     files.sort();
     for file in files {
         let Ok(text) = std::fs::read_to_string(&file) else { continue };
-        let rows: Vec<Value> =
-            text.lines().filter_map(|l| serde_json::from_str(l).ok()).collect();
+        let rows: Vec<Value> = text.lines().filter_map(|l| serde_json::from_str(l).ok()).collect();
         if rows.is_empty() {
             continue;
         }

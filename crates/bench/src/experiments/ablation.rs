@@ -22,7 +22,9 @@ pub fn run() {
     println!("ablation rows appended to {}", path.display());
 }
 
-fn variants() -> Vec<(&'static str, fn(&mut TrassConfig))> {
+type Variant = (&'static str, fn(&mut TrassConfig));
+
+fn variants() -> Vec<Variant> {
     vec![
         ("full", |_| {}),
         ("no-position-codes", |c| c.use_position_codes = false),
@@ -74,8 +76,7 @@ mod tests {
         let queries = datasets::queries(&ds, 3);
         let mut reference: Option<Vec<Vec<u64>>> = None;
         for (name, tweak) in variants() {
-            let mut cfg =
-                TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
+            let mut cfg = TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
             tweak(&mut cfg);
             let store = TrajectoryStore::open(cfg).unwrap();
             store.insert_all(&ds.data).unwrap();
@@ -105,8 +106,7 @@ mod tests {
         let ds = datasets::tdrive();
         let queries = datasets::queries(&ds, 5);
         let measure = |tweak: fn(&mut TrassConfig)| {
-            let mut cfg =
-                TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
+            let mut cfg = TrassConfig { space: trass_geo::WORLD_SQUARE, ..TrassConfig::default() };
             tweak(&mut cfg);
             let store = TrajectoryStore::open(cfg).unwrap();
             store.insert_all(&ds.data).unwrap();

@@ -16,8 +16,8 @@ pub fn run() {
     let space = trass_geo::WORLD_SQUARE; // the paper's whole-earth deployment
     let index = XzStar::new(16);
 
-    let mut by_level = vec![0u64; 17];
-    let mut by_code = vec![0u64; 11];
+    let mut by_level = [0u64; 17];
+    let mut by_code = [0u64; 11];
     for t in &ds.data {
         let unit: Vec<_> = t.points().iter().map(|p| space.to_unit(p)).collect();
         let s = index.index_points(&unit);
@@ -46,8 +46,8 @@ mod tests {
         let ds = datasets::tdrive();
         let space = trass_geo::WORLD_SQUARE;
         let index = XzStar::new(16);
-        let mut by_level = vec![0u64; 17];
-        let mut by_code = vec![0u64; 11];
+        let mut by_level = [0u64; 17];
+        let mut by_code = [0u64; 11];
         for t in &ds.data {
             let unit: Vec<_> = t.points().iter().map(|p| space.to_unit(p)).collect();
             let s = index.index_points(&unit);

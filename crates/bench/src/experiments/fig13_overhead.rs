@@ -41,13 +41,7 @@ fn run_dataset(ds: &Dataset, rep: &mut Reporter) {
 
     // (c) Rowkey storage overhead: integer vs string encoding.
     let (int_avg, str_avg, reduction) = rowkey_overhead(ds);
-    rep.row(
-        ds.name,
-        "TraSS",
-        "n",
-        ds.data.len() as f64,
-        &[("rowkey_bytes", int_avg)],
-    );
+    rep.row(ds.name, "TraSS", "n", ds.data.len() as f64, &[("rowkey_bytes", int_avg)]);
     rep.row(
         ds.name,
         "TraSS-S",

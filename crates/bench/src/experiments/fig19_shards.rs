@@ -21,8 +21,7 @@ pub fn run() {
         // Skew: max region row count over the mean (1.0 = perfectly even).
         let counts = store.cluster().region_entry_counts();
         let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
-        let skew =
-            counts.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0);
+        let skew = counts.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0);
         rep.row(
             ds.name,
             "TraSS",

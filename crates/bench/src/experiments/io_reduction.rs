@@ -29,10 +29,7 @@ pub fn theory() {
     let mut count = 0u32;
     for mask in 1u8..15 {
         let set = QuadSet(mask);
-        let label: String = (0..4)
-            .filter(|i| mask >> i & 1 == 1)
-            .map(|i| names[i])
-            .collect();
+        let label: String = (0..4).filter(|i| mask >> i & 1 == 1).map(|i| names[i]).collect();
         let quads = (0..4).filter(|i| mask >> i & 1 == 1).count();
         if quads == 4 {
             continue;
@@ -40,15 +37,15 @@ pub fn theory() {
         let reduction = io_reduction(set);
         total += reduction;
         count += 1;
-        rep.row("theory", "XZ*", &format!("far-{label}"), quads as f64, &[(
-            "reduction_pct",
-            reduction * 100.0,
-        )]);
+        rep.row(
+            "theory",
+            "XZ*",
+            &format!("far-{label}"),
+            quads as f64,
+            &[("reduction_pct", reduction * 100.0)],
+        );
     }
-    rep.row("theory", "XZ*", "average", 0.0, &[(
-        "reduction_pct",
-        total / count as f64 * 100.0,
-    )]);
+    rep.row("theory", "XZ*", "average", 0.0, &[("reduction_pct", total / count as f64 * 100.0)]);
     let path = rep.finish();
     println!("io_theory rows appended to {}", path.display());
 }

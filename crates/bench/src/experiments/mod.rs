@@ -13,6 +13,7 @@ pub mod fig18_tail_latency;
 pub mod fig19_shards;
 pub mod fig20_measures;
 pub mod io_reduction;
+pub mod obs_demo;
 
 /// Runs every experiment in figure order.
 pub fn run_all() {
@@ -28,4 +29,5 @@ pub fn run_all() {
     fig20_measures::run();
     io_reduction::run();
     ablation::run();
+    obs_demo::run();
 }

@@ -9,6 +9,7 @@ use trass_baselines::repose::ReposeEngine;
 use trass_baselines::xz_kv::{XzKvConfig, XzKvEngine};
 use trass_baselines::{EngineResult, SimilarityEngine};
 use trass_core::{config::TrassConfig, query, store::TrajectoryStore};
+use trass_obs::Histogram;
 use trass_traj::{Measure, Trajectory};
 
 /// All solutions of the evaluation, built over one dataset.
@@ -54,12 +55,19 @@ pub fn build_all(ds: &Dataset) -> Solutions {
 }
 
 /// One solution's aggregate numbers over a query batch.
+///
+/// Latency percentiles come from a [`trass_obs::Histogram`] over the
+/// per-query nanosecond samples — the same structure the live metrics
+/// endpoint serves, so benchmark numbers and monitoring numbers share one
+/// quantization (≤ 1/32 relative error).
 #[derive(Debug, Clone, Default)]
 pub struct Aggregate {
     /// Median query time.
     pub median_time: Duration,
     /// 99th-percentile query time (Fig. 18).
     pub p99_time: Duration,
+    /// 99.9th-percentile query time.
+    pub p999_time: Duration,
     /// Mean candidates per query.
     pub mean_candidates: f64,
     /// Mean rows retrieved per query.
@@ -74,23 +82,26 @@ pub struct Aggregate {
 
 fn aggregate(samples: &[(Duration, u64, u64, u64, Duration)]) -> Aggregate {
     assert!(!samples.is_empty());
-    let mut times: Vec<Duration> = samples.iter().map(|s| s.0).collect();
-    times.sort();
-    let n = times.len();
-    let median_time = times[n / 2];
-    let p99_time = times[((n as f64 * 0.99) as usize).min(n - 1)];
+    let times = Histogram::new();
+    for s in samples {
+        times.record_duration(s.0);
+    }
+    let p = times.percentiles();
+    let n = samples.len();
+    let median_time = Duration::from_nanos(p.p50);
+    let p99_time = Duration::from_nanos(p.p99);
+    let p999_time = Duration::from_nanos(p.p999);
     let sum_c: u64 = samples.iter().map(|s| s.1).sum();
     let sum_r: u64 = samples.iter().map(|s| s.2).sum();
     let sum_res: u64 = samples.iter().map(|s| s.3).sum();
     let sum_prune: Duration = samples.iter().map(|s| s.4).sum();
-    let mean_precision = samples
-        .iter()
-        .map(|s| if s.1 == 0 { 1.0 } else { s.3 as f64 / s.1 as f64 })
-        .sum::<f64>()
-        / n as f64;
+    let mean_precision =
+        samples.iter().map(|s| if s.1 == 0 { 1.0 } else { s.3 as f64 / s.1 as f64 }).sum::<f64>()
+            / n as f64;
     Aggregate {
         median_time,
         p99_time,
+        p999_time,
         mean_candidates: sum_c as f64 / n as f64,
         mean_retrieved: sum_r as f64 / n as f64,
         mean_results: sum_res as f64 / n as f64,
@@ -184,6 +195,12 @@ fn to_sample(r: EngineResult) -> (Duration, u64, u64, u64, Duration) {
 mod tests {
     use super::*;
 
+    /// `within`: histogram percentiles carry ≤ 1/32 relative quantization.
+    fn close(got: Duration, want: Duration) -> bool {
+        let (g, w) = (got.as_nanos() as f64, want.as_nanos() as f64);
+        (g - w).abs() / w <= 1.0 / 32.0 + 1e-9
+    }
+
     #[test]
     fn aggregate_math() {
         let samples = vec![
@@ -192,8 +209,10 @@ mod tests {
             (Duration::from_millis(2), 0, 0, 0, Duration::from_micros(30)),
         ];
         let a = aggregate(&samples);
-        assert_eq!(a.median_time, Duration::from_millis(2));
-        assert_eq!(a.p99_time, Duration::from_millis(3));
+        assert!(close(a.median_time, Duration::from_millis(2)), "{:?}", a.median_time);
+        assert!(close(a.p99_time, Duration::from_millis(3)), "{:?}", a.p99_time);
+        assert!(close(a.p999_time, Duration::from_millis(3)), "{:?}", a.p999_time);
+        assert!(a.p99_time >= a.median_time);
         assert!((a.mean_candidates - 10.0).abs() < 1e-9);
         assert!((a.mean_retrieved - 20.0).abs() < 1e-9);
         // precision: 0.5, 0.5, 1.0 → 2/3

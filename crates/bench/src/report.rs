@@ -85,10 +85,7 @@ impl Reporter {
         }
         println!();
         for r in &self.rows {
-            print!(
-                "{:<10} {:<12} {:>6} {:>10.4}",
-                r.dataset, r.solution, r.param, r.param_value
-            );
+            print!("{:<10} {:<12} {:>6} {:>10.4}", r.dataset, r.solution, r.param, r.param_value);
             for m in &metric_names {
                 match r.metrics.get(m).and_then(|v| v.as_f64()) {
                     Some(v) => print!(" {v:>16.4}"),
@@ -102,11 +99,8 @@ impl Reporter {
         let dir = PathBuf::from("results");
         std::fs::create_dir_all(&dir).expect("create results dir");
         let path = dir.join(format!("{}.jsonl", self.experiment));
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .expect("open results file");
+        let mut file =
+            OpenOptions::new().create(true).append(true).open(&path).expect("open results file");
         for r in &self.rows {
             let line = serde_json::to_string(r).expect("serialize row");
             writeln!(file, "{line}").expect("write row");

@@ -68,7 +68,7 @@ impl TrassConfig {
         if !self.space.is_square() {
             return Err("space extent must be square for sound distance pruning".into());
         }
-        if !(self.dp_theta >= 0.0) {
+        if self.dp_theta.is_nan() || self.dp_theta < 0.0 {
             return Err("dp_theta must be non-negative".into());
         }
         Ok(())

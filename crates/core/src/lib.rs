@@ -46,4 +46,4 @@ pub mod store;
 pub use config::TrassConfig;
 pub use query::{range_search, threshold_search, top_k_search};
 pub use stats::{QueryStats, SearchResult};
-pub use store::TrajectoryStore;
+pub use store::{SlowQueryRecord, TrajectoryStore};

@@ -179,10 +179,7 @@ mod tests {
         let q = traj(0, &[(0.0, 0.0), (1.0, 0.5), (2.0, -0.2), (3.0, 0.1)]);
         let side = QuerySide::new(&q, 0.2, Measure::Frechet);
         for dy in [0.0, 0.1, 0.3, 0.8] {
-            let t = traj(
-                1,
-                &[(0.0, dy), (1.0, 0.5 + dy), (2.0, -0.2 + dy), (3.0, 0.1 + dy)],
-            );
+            let t = traj(1, &[(0.0, dy), (1.0, 0.5 + dy), (2.0, -0.2 + dy), (3.0, 0.1 + dy)]);
             let d = Measure::Frechet.distance(q.points(), t.points());
             let filter = LocalFilter::new(side.clone(), d + 1e-9);
             assert!(filter.passes(&row_of(&t, 0.2)), "rejected at its own distance (dy={dy})");

@@ -14,9 +14,11 @@
 mod local_filter;
 mod range;
 mod threshold;
+mod timed_filter;
 mod topk;
 
 pub use local_filter::{LocalFilter, QuerySide};
 pub use range::range_search;
 pub use threshold::threshold_search;
+pub use timed_filter::TimedFilter;
 pub use topk::top_k_search;

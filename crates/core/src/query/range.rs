@@ -7,6 +7,7 @@
 //! window, and a trajectory qualifies only if one of its points falls
 //! inside.
 
+use crate::query::timed_filter::TimedFilter;
 use crate::schema::{parse_rowkey, rowkey_range, RowValue};
 use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
@@ -17,16 +18,18 @@ use trass_index::quad::Cell;
 use trass_index::ranges::coalesce;
 use trass_index::xzstar::{IndexSpace, PositionCode, XzStar};
 use trass_kv::{FilterDecision, KeyRange, KvError};
+use trass_obs::{Span, STAGE_HISTOGRAM};
 
 /// Finds every trajectory with at least one point inside `window` (world
 /// coordinates). The returned "distance" field carries 0.0 — range queries
 /// have no similarity value.
 pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResult, KvError> {
+    let t_all = Instant::now();
     let mut stats = QueryStats::default();
     let config = store.config();
     let index = store.index();
 
-    let t0 = Instant::now();
+    let span = Span::enter(store.registry(), "pruning");
     let unit_window = config.space.mbr_to_unit(window);
     let (values, mut value_ranges) = window_values(index, &unit_window);
     value_ranges.extend(coalesce(values, config.range_gap));
@@ -49,7 +52,7 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
             key_ranges.push(rowkey_range(shard, vr.start, vr.end));
         }
     }
-    stats.pruning_time = t0.elapsed();
+    stats.pruning_time = span.finish();
     stats.n_ranges = key_ranges.len();
 
     // Push the point-in-window test into the scan.
@@ -62,14 +65,20 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
             FilterDecision::Skip
         }
     };
+    let timed = TimedFilter::new(&filter);
     let io_before = store.cluster().metrics_snapshot();
-    let t1 = Instant::now();
-    let rows = store.cluster().scan_ranges(&key_ranges, &filter)?;
-    stats.scan_time = t1.elapsed();
+    let span = Span::enter(store.registry(), "scan");
+    let rows = store.cluster().scan_ranges(&key_ranges, &timed)?;
+    stats.scan_time = span.finish();
+    store
+        .registry()
+        .timer(STAGE_HISTOGRAM, &[("stage", "local-filter")])
+        .record_duration(timed.elapsed());
     stats.io = store.cluster().metrics_snapshot().since(&io_before);
     stats.retrieved = stats.io.entries_scanned;
     stats.candidates = stats.io.entries_returned;
 
+    let span = Span::enter(store.registry(), "refine");
     let mut results = Vec::with_capacity(rows.len());
     for row in rows {
         if let Some((_, _, tid)) = parse_rowkey(&row.key) {
@@ -77,7 +86,21 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
         }
     }
     results.sort_by_key(|&(tid, _)| tid);
+    stats.refine_time = span.finish();
     stats.results = results.len() as u64;
+    stats.total_time = t_all.elapsed();
+    store.record_query(
+        "range",
+        format!(
+            "window=[{},{}]x[{},{}] results={}",
+            window.min_x,
+            window.max_x,
+            window.min_y,
+            window.max_y,
+            results.len()
+        ),
+        &stats,
+    );
     Ok(SearchResult { results, stats })
 }
 
@@ -86,10 +109,7 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
 /// contiguous range — all their geometry lies inside the enlarged element,
 /// so every descendant space intersects the window. Without the collapse a
 /// window covering the space would enumerate all `4^r` elements.
-fn window_values(
-    index: &XzStar,
-    window: &Mbr,
-) -> (Vec<u64>, Vec<trass_index::ranges::ValueRange>) {
+fn window_values(index: &XzStar, window: &Mbr) -> (Vec<u64>, Vec<trass_index::ranges::ValueRange>) {
     // Planning budget: past it, boundary subtrees spill as whole ranges.
     // Spilled ranges over-cover (sound — the point-in-window filter decides),
     // trading a few extra scanned rows for bounded plan size; large windows
@@ -159,10 +179,7 @@ mod tests {
             for gy in 0..10 {
                 let x = 116.05 + gx as f64 * 0.07;
                 let y = 39.65 + gy as f64 * 0.05;
-                let t = Trajectory::new(
-                    id,
-                    vec![Point::new(x, y), Point::new(x + 0.01, y + 0.01)],
-                );
+                let t = Trajectory::new(id, vec![Point::new(x, y), Point::new(x + 0.01, y + 0.01)]);
                 store.insert(&t).unwrap();
                 id += 1;
             }
@@ -184,8 +201,7 @@ mod tests {
             for gy in 0..10 {
                 let x = 116.05 + gx as f64 * 0.07;
                 let y = 39.65 + gy as f64 * 0.05;
-                let pts =
-                    [Point::new(x, y), Point::new(x + 0.01, y + 0.01)];
+                let pts = [Point::new(x, y), Point::new(x + 0.01, y + 0.01)];
                 if pts.iter().any(|p| window.contains_point(p)) {
                     expected.push(id);
                 }
@@ -233,10 +249,7 @@ mod tests {
         let data = trass_traj::generator::tdrive_like(77, 200);
         store.insert_all(&data).unwrap();
         store.flush().unwrap();
-        for window in [
-            Mbr::new(116.2, 39.8, 116.4, 39.95),
-            Mbr::new(116.0, 39.6, 116.1, 39.7),
-        ] {
+        for window in [Mbr::new(116.2, 39.8, 116.4, 39.95), Mbr::new(116.0, 39.6, 116.1, 39.7)] {
             let got = range_search(&store, &window).unwrap();
             let got_ids: Vec<u64> = got.results.iter().map(|&(id, _)| id).collect();
             let mut expected: Vec<u64> = data

@@ -1,12 +1,14 @@
 //! Threshold similarity search (§V-E, Algorithm 3).
 
 use crate::query::local_filter::{LocalFilter, QuerySide};
+use crate::query::timed_filter::TimedFilter;
 use crate::schema::{parse_rowkey, rowkey_range, RowValue};
 use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
 use std::time::Instant;
 use trass_index::xzstar::{GlobalPruning, PruningConfig, QueryContext};
 use trass_kv::{KeyRange, KvError};
+use trass_obs::{Span, STAGE_HISTOGRAM};
 use trass_traj::{Measure, Trajectory};
 
 /// Finds every stored trajectory `T` with `f(Q, T) ≤ eps` (world units,
@@ -21,14 +23,34 @@ pub fn threshold_search(
     eps: f64,
     measure: Measure,
 ) -> Result<SearchResult, KvError> {
-    if !(eps >= 0.0) {
+    let result = threshold_search_impl(store, query, eps, measure)?;
+    store.record_query(
+        "threshold",
+        format!("eps={eps} measure={measure} results={}", result.results.len()),
+        &result.stats,
+    );
+    Ok(result)
+}
+
+/// The search body, shared with top-k's deepening rounds (which record one
+/// aggregate "topk" query instead of one entry per round).
+pub(crate) fn threshold_search_impl(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    eps: f64,
+    measure: Measure,
+) -> Result<SearchResult, KvError> {
+    if eps.is_nan() || eps < 0.0 {
         return Err(KvError::InvalidUsage { message: format!("invalid threshold {eps}") });
     }
+    let t_all = Instant::now();
+    let measure_name = measure.to_string();
+    let labels: [(&str, &str); 1] = [("measure", &measure_name)];
     let mut stats = QueryStats::default();
     let config = store.config();
 
     // Global pruning (G-Pruning in Fig. 8).
-    let t0 = Instant::now();
+    let span = Span::enter_with(store.registry(), "pruning", &labels);
     let unit_points = store.to_unit(query.points());
     let eps_unit = config.space.distance_to_unit(eps);
     let ctx = QueryContext::new(store.index(), unit_points, eps_unit);
@@ -49,7 +71,7 @@ pub fn threshold_search(
             key_ranges.push(rowkey_range(shard, vr.start, vr.end));
         }
     }
-    stats.pruning_time = t0.elapsed();
+    stats.pruning_time = span.finish();
     stats.n_ranges = key_ranges.len();
 
     // Scan with local filtering pushed down (L-Filtering in Fig. 8).
@@ -59,15 +81,21 @@ pub fn threshold_search(
     // while keeping the scan path identical.
     let filter_eps = if config.use_local_filter { eps } else { f64::INFINITY };
     let filter = LocalFilter::new(side, filter_eps);
-    let t1 = Instant::now();
-    let rows = store.cluster().scan_ranges(&key_ranges, &filter)?;
-    stats.scan_time = t1.elapsed();
+    let timed = TimedFilter::new(&filter);
+    let span = Span::enter_with(store.registry(), "scan", &labels);
+    let rows = store.cluster().scan_ranges(&key_ranges, &timed)?;
+    stats.scan_time = span.finish();
+    // The filter ran inside the scan; attribute its share separately.
+    store
+        .registry()
+        .timer(STAGE_HISTOGRAM, &[("stage", "local-filter"), ("measure", &measure_name)])
+        .record_duration(timed.elapsed());
     stats.io = store.cluster().metrics_snapshot().since(&io_before);
     stats.retrieved = stats.io.entries_scanned;
     stats.candidates = filter.kept();
 
     // Refinement: exact similarity on the candidates.
-    let t2 = Instant::now();
+    let span = Span::enter_with(store.registry(), "refine", &labels);
     let mut results = Vec::new();
     for row in rows {
         let Some((_, _, tid)) = parse_rowkey(&row.key) else { continue };
@@ -79,8 +107,9 @@ pub fn threshold_search(
         }
     }
     results.sort_by_key(|&(tid, _)| tid);
-    stats.refine_time = t2.elapsed();
+    stats.refine_time = span.finish();
     stats.results = results.len() as u64;
+    stats.total_time = t_all.elapsed();
     Ok(SearchResult { results, stats })
 }
 
@@ -97,25 +126,19 @@ mod tests {
     /// A small city of trajectories around Beijing plus far-away noise.
     fn populated_store() -> (TrajectoryStore, Trajectory) {
         let store = TrajectoryStore::open(TrassConfig::default()).unwrap();
-        let base = traj(
-            100,
-            &[(116.30, 39.90), (116.31, 39.905), (116.32, 39.90), (116.33, 39.91)],
-        );
+        let base =
+            traj(100, &[(116.30, 39.90), (116.31, 39.905), (116.32, 39.90), (116.33, 39.91)]);
         store.insert(&base).unwrap();
         // Two shifted near-duplicates.
         for (id, dy) in [(101u64, 0.001), (102, 0.004)] {
-            let pts: Vec<(f64, f64)> =
-                base.points().iter().map(|p| (p.x, p.y + dy)).collect();
+            let pts: Vec<(f64, f64)> = base.points().iter().map(|p| (p.x, p.y + dy)).collect();
             store.insert(&traj(id, &pts)).unwrap();
         }
         // A same-shape trajectory far away.
-        let far: Vec<(f64, f64)> =
-            base.points().iter().map(|p| (p.x + 1.0, p.y + 1.0)).collect();
+        let far: Vec<(f64, f64)> = base.points().iter().map(|p| (p.x + 1.0, p.y + 1.0)).collect();
         store.insert(&traj(200, &far)).unwrap();
         // A much larger trajectory overlapping spatially.
-        store
-            .insert(&traj(300, &[(116.0, 39.6), (116.4, 40.0), (116.8, 39.7)]))
-            .unwrap();
+        store.insert(&traj(300, &[(116.0, 39.6), (116.4, 40.0), (116.8, 39.7)])).unwrap();
         store.flush().unwrap();
         (store, base)
     }
@@ -175,11 +198,43 @@ mod tests {
         let hits = threshold_search(&store, &q, 0.002, Measure::Frechet).unwrap();
         let s = &hits.stats;
         assert!(s.n_ranges > 0);
-        assert!(s.retrieved >= s.candidates, "retrieved {} candidates {}", s.retrieved, s.candidates);
+        assert!(
+            s.retrieved >= s.candidates,
+            "retrieved {} candidates {}",
+            s.retrieved,
+            s.candidates
+        );
         assert!(s.candidates >= s.results);
         assert_eq!(s.results, 2);
         assert!(s.precision() > 0.0 && s.precision() <= 1.0);
         assert!(s.io.range_scans as usize >= 1);
+    }
+
+    #[test]
+    fn query_feeds_registry_and_slow_log() {
+        let (store, q) = populated_store();
+        let hits = threshold_search(&store, &q, 0.002, Measure::Frechet).unwrap();
+        assert!(hits.stats.total_time >= hits.stats.scan_time);
+        let text = store.render_prometheus();
+        assert!(text.contains("# TYPE trass_query_stage_seconds histogram"));
+        for stage in ["pruning", "scan", "local-filter", "refine"] {
+            assert!(text.contains(&format!("stage=\"{stage}\"")), "missing stage {stage}");
+        }
+        assert!(
+            text.contains("trass_query_stage_seconds_bucket{measure=\"frechet\",stage=\"scan\"")
+        );
+        assert!(text.contains("trass_query_stage_seconds_sum{measure=\"frechet\",stage=\"scan\"}"));
+        assert!(
+            text.contains("trass_query_stage_seconds_count{measure=\"frechet\",stage=\"scan\"} 1")
+        );
+        assert!(text.contains("trass_queries{kind=\"threshold\"} 1"));
+        assert!(text.contains("trass_ingest_rows 5"));
+        assert!(text.contains("trass_kv_region_scans"));
+        let slow = store.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].kind, "threshold");
+        assert!(slow[0].detail.contains("eps=0.002"), "detail: {}", slow[0].detail);
+        assert!(slow[0].stats.total_time() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //! the geometric growth bounds total work at a constant factor of the
 //! final round.
 
-use crate::query::threshold::threshold_search;
+use crate::query::threshold::threshold_search_impl;
 use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
+use std::time::Instant;
 use trass_kv::KvError;
 use trass_traj::{Measure, Trajectory};
 
@@ -43,11 +44,11 @@ pub fn top_k_search(
     if k == 0 {
         return Ok(SearchResult { results: Vec::new(), stats: QueryStats::default() });
     }
+    let t_all = Instant::now();
     let space = &store.config().space;
     // Initial radius: a fraction of the query's own extent, floored at a
     // few cells of the finest resolution so point queries start sane.
-    let cell_world = space
-        .distance_to_world(0.5f64.powi(store.config().max_resolution as i32));
+    let cell_world = space.distance_to_world(0.5f64.powi(store.config().max_resolution as i32));
     let mbr = query.mbr();
     let mut eps = (mbr.width().max(mbr.height()) * 0.25).max(cell_world * 4.0);
     // ε covering the entire space ⇒ the search has become a full scan and
@@ -56,7 +57,9 @@ pub fn top_k_search(
 
     let mut stats = QueryStats::default();
     loop {
-        let round = threshold_search(store, query, eps, measure)?;
+        // Rounds go through the unrecorded body: the deepening loop logs
+        // one aggregate "topk" query, not one entry per round.
+        let round = threshold_search_impl(store, query, eps, measure)?;
         stats.pruning_time += round.stats.pruning_time;
         stats.scan_time += round.stats.scan_time;
         stats.refine_time += round.stats.refine_time;
@@ -71,6 +74,12 @@ pub fn top_k_search(
             });
             results.truncate(k);
             stats.results = results.len() as u64;
+            stats.total_time = t_all.elapsed();
+            store.record_query(
+                "topk",
+                format!("k={k} measure={measure} eps_final={eps} results={}", results.len()),
+                &stats,
+            );
             return Ok(SearchResult { results, stats });
         }
         eps = (eps * GROWTH).min(whole_space);
@@ -99,10 +108,8 @@ mod tests {
         k: usize,
         measure: Measure,
     ) -> Vec<(TrajectoryId, f64)> {
-        let mut all: Vec<(TrajectoryId, f64)> = data
-            .iter()
-            .map(|t| (t.id, measure.distance(q.points(), t.points())))
-            .collect();
+        let mut all: Vec<(TrajectoryId, f64)> =
+            data.iter().map(|t| (t.id, measure.distance(q.points(), t.points()))).collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         all.truncate(k);
         all

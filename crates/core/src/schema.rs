@@ -139,8 +139,10 @@ mod tests {
     #[test]
     fn rowkey_order_matches_value_order() {
         // Big-endian: lexicographic byte order == numeric order.
-        let mut keys: Vec<Vec<u8>> =
-            [(0u64, 5u64), (1, 0), (1, 7), (2, 3), (300, 1)].iter().map(|&(v, t)| rowkey(1, v, t)).collect();
+        let mut keys: Vec<Vec<u8>> = [(0u64, 5u64), (1, 0), (1, 7), (2, 3), (300, 1)]
+            .iter()
+            .map(|&(v, t)| rowkey(1, v, t))
+            .collect();
         let sorted = keys.clone();
         keys.sort();
         assert_eq!(keys, sorted);
@@ -165,10 +167,7 @@ mod tests {
             counts[shard_of(tid, shards) as usize] += 1;
         }
         for (s, &c) in counts.iter().enumerate() {
-            assert!(
-                (800..1200).contains(&c),
-                "shard {s} got {c} of 8000 — poor dispersion"
-            );
+            assert!((800..1200).contains(&c), "shard {s} got {c} of 8000 — poor dispersion");
         }
     }
 
@@ -180,8 +179,9 @@ mod tests {
 
     #[test]
     fn row_value_roundtrip() {
-        let points: Vec<Point> =
-            (0..50).map(|i| Point::new(116.0 + i as f64 * 0.001, 39.9 + (i % 7) as f64 * 0.002)).collect();
+        let points: Vec<Point> = (0..50)
+            .map(|i| Point::new(116.0 + i as f64 * 0.001, 39.9 + (i % 7) as f64 * 0.002))
+            .collect();
         let traj = Trajectory::new(9, points.clone());
         let features = DpFeatures::extract(&traj, 0.003);
         let row = RowValue { points, features };
@@ -213,11 +213,6 @@ mod tests {
         assert!(space.cell.level >= 10, "deep space for a fair comparison");
         let int_key = rowkey(1, index.encode(&space), 77);
         let str_key = string_rowkey(1, &space, 77);
-        assert!(
-            int_key.len() < str_key.len(),
-            "int {} vs string {}",
-            int_key.len(),
-            str_key.len()
-        );
+        assert!(int_key.len() < str_key.len(), "int {} vs string {}", int_key.len(), str_key.len());
     }
 }

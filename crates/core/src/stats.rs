@@ -1,8 +1,8 @@
 //! Per-query accounting, matching the paper's evaluation metrics.
 
+use std::time::Duration;
 use trass_kv::metrics::MetricsSnapshot;
 use trass_traj::TrajectoryId;
-use std::time::Duration;
 
 /// Timing and volume statistics of one similarity query.
 ///
@@ -30,6 +30,9 @@ pub struct QueryStats {
     pub results: u64,
     /// Store-level I/O deltas for this query.
     pub io: MetricsSnapshot,
+    /// Measured end-to-end wall-clock time, set by the query drivers.
+    /// Zero when the stats were assembled by hand (tests, aggregation).
+    pub total_time: Duration,
 }
 
 impl QueryStats {
@@ -43,9 +46,16 @@ impl QueryStats {
         }
     }
 
-    /// Total wall-clock time of the query.
+    /// Total wall-clock time of the query: the measured end-to-end time
+    /// when the driver recorded one, otherwise the sum of the phase timers.
+    /// The measured time also covers work *between* the phases (range
+    /// grouping, stats assembly), so it can exceed the phase sum.
     pub fn total_time(&self) -> Duration {
-        self.pruning_time + self.scan_time + self.refine_time
+        if self.total_time != Duration::ZERO {
+            self.total_time
+        } else {
+            self.pruning_time + self.scan_time + self.refine_time
+        }
     }
 }
 
@@ -72,7 +82,7 @@ mod tests {
     }
 
     #[test]
-    fn total_time_sums_phases() {
+    fn total_time_sums_phases_when_unmeasured() {
         let s = QueryStats {
             pruning_time: Duration::from_millis(1),
             scan_time: Duration::from_millis(2),
@@ -80,5 +90,17 @@ mod tests {
             ..QueryStats::default()
         };
         assert_eq!(s.total_time(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn measured_total_time_wins_over_phase_sum() {
+        let s = QueryStats {
+            pruning_time: Duration::from_millis(1),
+            scan_time: Duration::from_millis(2),
+            refine_time: Duration::from_millis(3),
+            total_time: Duration::from_millis(10),
+            ..QueryStats::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(10));
     }
 }

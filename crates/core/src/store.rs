@@ -2,10 +2,28 @@
 
 use crate::config::TrassConfig;
 use crate::schema::{rowkey, shard_of, RowValue};
+use crate::stats::QueryStats;
+use std::sync::Arc;
+use std::time::Instant;
 use trass_geo::Point;
 use trass_index::xzstar::{IndexSpace, XzStar};
 use trass_kv::{Cluster, ClusterOptions, KvError};
+use trass_obs::{Counter, Histogram, Registry, SlowLog};
 use trass_traj::{DpFeatures, Trajectory, TrajectoryId};
+
+/// How many slow queries the store retains (top-N by total time).
+const SLOW_LOG_CAPACITY: usize = 32;
+
+/// One retained slow query: what ran and its full accounting.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// Query kind: `"threshold"`, `"topk"`, or `"range"`.
+    pub kind: &'static str,
+    /// Human-readable query parameters and outcome.
+    pub detail: String,
+    /// The query's full stats (timings, I/O, cardinalities).
+    pub stats: QueryStats,
+}
 
 /// A TraSS deployment: the XZ\* index plus the sharded KV cluster.
 ///
@@ -20,30 +38,51 @@ pub struct TrajectoryStore {
     cluster: Cluster,
     /// Secondary table: tid → current index value.
     id_index: Cluster,
+    /// Shared metric registry: the query pipeline, the ingest path, and
+    /// every region of the main cluster report into it.
+    registry: Arc<Registry>,
+    /// Top-N slowest queries by total wall-clock time.
+    slow_queries: SlowLog<SlowQueryRecord>,
+    ingest_seconds: Arc<Histogram>,
+    ingest_rows: Arc<Counter>,
 }
 
 impl TrajectoryStore {
     /// Opens a store with the given configuration.
     pub fn open(config: TrassConfig) -> Result<Self, KvError> {
-        config
-            .validate()
-            .map_err(|m| KvError::InvalidUsage { message: m })?;
+        config.validate().map_err(|m| KvError::InvalidUsage { message: m })?;
+        let registry = Registry::new_shared();
         let cluster = Cluster::open(ClusterOptions {
             shards: config.shards,
             store: config.store.clone(),
             parallel_scans: config.parallel_scans,
+            registry: Some(Arc::clone(&registry)),
         })?;
         let mut id_store = config.store.clone();
         if let Some(dir) = &config.store.dir {
             id_store.dir = Some(dir.join("id-index"));
         }
+        // The id-index keeps a private registry: its regions reuse the same
+        // shard labels as the main cluster and would collide otherwise.
         let id_index = Cluster::open(ClusterOptions {
             shards: config.shards,
             store: id_store,
             parallel_scans: false, // point lookups only
+            registry: None,
         })?;
         let index = XzStar::new(config.max_resolution);
-        Ok(TrajectoryStore { config, index, cluster, id_index })
+        let ingest_seconds = registry.timer("trass_ingest_seconds", &[]);
+        let ingest_rows = registry.counter("trass_ingest_rows", &[]);
+        Ok(TrajectoryStore {
+            config,
+            index,
+            cluster,
+            id_index,
+            registry,
+            slow_queries: SlowLog::new(SLOW_LOG_CAPACITY),
+            ingest_seconds,
+            ingest_rows,
+        })
     }
 
     /// The configuration this store was opened with.
@@ -59,6 +98,42 @@ impl TrajectoryStore {
     /// The underlying KV cluster (exposed for metrics and experiments).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// The deployment's metric registry (queries, ingest, and the main
+    /// cluster's regions all report here).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The slowest queries seen so far, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.slow_queries.snapshot().into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Counts a finished query and offers it to the slow-query log. Called
+    /// by the query drivers.
+    pub(crate) fn record_query(&self, kind: &'static str, detail: String, stats: &QueryStats) {
+        self.registry.counter("trass_queries", &[("kind", kind)]).inc();
+        self.slow_queries.record(
+            stats.total_time().as_nanos() as u64,
+            SlowQueryRecord { kind, detail, stats: stats.clone() },
+        );
+    }
+
+    /// Renders every metric in the Prometheus text exposition format,
+    /// after mirroring the cluster's cumulative I/O counters into the
+    /// registry (so the scrape sees fresh per-shard values).
+    pub fn render_prometheus(&self) -> String {
+        self.cluster.publish_metrics();
+        self.registry.render_prometheus()
+    }
+
+    /// Renders every metric as a JSON document (same refresh semantics as
+    /// [`TrajectoryStore::render_prometheus`]).
+    pub fn render_json(&self) -> String {
+        self.cluster.publish_metrics();
+        self.registry.render_json()
     }
 
     /// Maps a trajectory's world-space points into unit space.
@@ -96,6 +171,7 @@ impl TrajectoryStore {
     /// the index value, and writes the row. A re-insert whose geometry
     /// moved to a different index space removes the stale row first.
     pub fn insert(&self, traj: &Trajectory) -> Result<(), KvError> {
+        let t = Instant::now();
         let space = self.index_space_of(traj);
         let value = self.index.encode(&space);
         let shard = shard_of(traj.id, self.config.shards);
@@ -111,8 +187,10 @@ impl TrajectoryStore {
             features: DpFeatures::extract(traj, self.config.dp_theta),
         };
         self.cluster.put(key, row.encode())?;
-        self.id_index
-            .put(self.id_key(traj.id), value.to_le_bytes().to_vec())
+        self.id_index.put(self.id_key(traj.id), value.to_le_bytes().to_vec())?;
+        self.ingest_rows.inc();
+        self.ingest_seconds.record_duration(t.elapsed());
+        Ok(())
     }
 
     /// Fetches a trajectory by id.

@@ -187,10 +187,7 @@ impl Mbr {
         if self.contains_point(&seg.a) || self.contains_point(&seg.b) {
             return 0.0;
         }
-        self.edges()
-            .iter()
-            .map(|e| e.distance_to_segment(seg))
-            .fold(f64::INFINITY, f64::min)
+        self.edges().iter().map(|e| e.distance_to_segment(seg)).fold(f64::INFINITY, f64::min)
     }
 
     /// The four boundary edges, in order: bottom, right, top, left.
@@ -199,12 +196,7 @@ impl Mbr {
         let lr = Point::new(self.max_x, self.min_y);
         let ur = Point::new(self.max_x, self.max_y);
         let ul = Point::new(self.min_x, self.max_y);
-        [
-            Segment::new(ll, lr),
-            Segment::new(lr, ur),
-            Segment::new(ur, ul),
-            Segment::new(ul, ll),
-        ]
+        [Segment::new(ll, lr), Segment::new(lr, ur), Segment::new(ur, ul), Segment::new(ul, ll)]
     }
 
     /// The four corners, counter-clockwise from the lower-left.
@@ -219,10 +211,7 @@ impl Mbr {
 
     /// Maximum distance from `p` to any point of the rectangle.
     pub fn max_distance_to_point(&self, p: &Point) -> f64 {
-        self.corners()
-            .iter()
-            .map(|c| c.distance(p))
-            .fold(0.0, f64::max)
+        self.corners().iter().map(|c| c.distance(p)).fold(0.0, f64::max)
     }
 }
 

@@ -17,9 +17,8 @@ pub struct NormalizedSpace {
 
 /// The whole-earth space used by TraSS by default: longitude `[-180, 180]`,
 /// latitude `[-90, 90]`.
-pub const WORLD: NormalizedSpace = NormalizedSpace {
-    extent: Mbr { min_x: -180.0, min_y: -90.0, max_x: 180.0, max_y: 90.0 },
-};
+pub const WORLD: NormalizedSpace =
+    NormalizedSpace { extent: Mbr { min_x: -180.0, min_y: -90.0, max_x: 180.0, max_y: 90.0 } };
 
 /// The whole earth embedded in a *square* extent (`[-180, 180]²`).
 ///
@@ -27,9 +26,8 @@ pub const WORLD: NormalizedSpace = NormalizedSpace {
 /// uniformly between world and unit space, which requires a square extent;
 /// latitudes occupy the lower half of the square and the upper half simply
 /// stays unused by the index.
-pub const WORLD_SQUARE: NormalizedSpace = NormalizedSpace {
-    extent: Mbr { min_x: -180.0, min_y: -90.0, max_x: 180.0, max_y: 270.0 },
-};
+pub const WORLD_SQUARE: NormalizedSpace =
+    NormalizedSpace { extent: Mbr { min_x: -180.0, min_y: -90.0, max_x: 180.0, max_y: 270.0 } };
 
 impl NormalizedSpace {
     /// Creates a space over the given world extent.
@@ -47,12 +45,7 @@ impl NormalizedSpace {
     pub fn square(extent: Mbr) -> Self {
         let side = extent.width().max(extent.height());
         assert!(side > 0.0, "degenerate space extent");
-        Self::new(Mbr::new(
-            extent.min_x,
-            extent.min_y,
-            extent.min_x + side,
-            extent.min_y + side,
-        ))
+        Self::new(Mbr::new(extent.min_x, extent.min_y, extent.min_x + side, extent.min_y + side))
     }
 
     /// Whether the extent is square (up to floating-point tolerance).

@@ -79,12 +79,7 @@ impl OrientedBox {
     pub fn corners(&self) -> [Point; 4] {
         let u = self.axis * self.half_u;
         let v = self.perp() * self.half_v;
-        [
-            self.center - u - v,
-            self.center + u - v,
-            self.center + u + v,
-            self.center - u + v,
-        ]
+        [self.center - u - v, self.center + u - v, self.center + u + v, self.center - u + v]
     }
 
     /// The four boundary edges.
@@ -122,10 +117,7 @@ impl OrientedBox {
         if self.contains_point(&seg.a) || self.contains_point(&seg.b) {
             return 0.0;
         }
-        self.edges()
-            .iter()
-            .map(|e| e.distance_to_segment(seg))
-            .fold(f64::INFINITY, f64::min)
+        self.edges().iter().map(|e| e.distance_to_segment(seg)).fold(f64::INFINITY, f64::min)
     }
 
     /// Minimum distance between two oriented boxes (0 on overlap).
@@ -183,8 +175,7 @@ mod tests {
         // Points on the line y = x: an oriented box along the diagonal has
         // zero perpendicular extent, unlike the axis-aligned MBR.
         let pts: Vec<Point> = (0..=10).map(|i| Point::new(i as f64, i as f64)).collect();
-        let obb =
-            OrientedBox::from_points_along(pts[0], *pts.last().unwrap(), &pts).unwrap();
+        let obb = OrientedBox::from_points_along(pts[0], *pts.last().unwrap(), &pts).unwrap();
         assert!(obb.half_v < 1e-12);
         assert!((obb.half_u - (200.0f64).sqrt() / 2.0).abs() < 1e-9);
         for p in &pts {
@@ -249,8 +240,7 @@ mod tests {
     #[test]
     fn segment_distance_respects_rotation() {
         let pts: Vec<Point> = (0..=4).map(|i| Point::new(i as f64, i as f64)).collect();
-        let obb =
-            OrientedBox::from_points_along(pts[0], *pts.last().unwrap(), &pts).unwrap();
+        let obb = OrientedBox::from_points_along(pts[0], *pts.last().unwrap(), &pts).unwrap();
         // A horizontal segment passing far from the diagonal strip.
         let far = Segment::new(Point::new(0.0, 6.0), Point::new(1.0, 6.0));
         let d = obb.distance_to_segment(&far);

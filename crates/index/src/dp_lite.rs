@@ -39,10 +39,7 @@ pub fn douglas_peucker(points: &[Point], theta: f64) -> Vec<u32> {
             stack.push((best_idx, hi));
         }
     }
-    keep.iter()
-        .enumerate()
-        .filter_map(|(i, &k)| k.then_some(i as u32))
-        .collect()
+    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i as u32)).collect()
 }
 
 #[cfg(test)]

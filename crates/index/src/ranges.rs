@@ -118,10 +118,7 @@ mod tests {
         for gap in [0u64, 1, 5] {
             let ranges = coalesce(values.clone(), gap);
             for &v in &values {
-                assert!(
-                    ranges.iter().any(|r| r.contains(v)),
-                    "value {v} lost at gap {gap}"
-                );
+                assert!(ranges.iter().any(|r| r.contains(v)), "value {v} lost at gap {gap}");
             }
             // Ranges are sorted and non-overlapping.
             for w in ranges.windows(2) {

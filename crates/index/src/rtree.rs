@@ -30,12 +30,8 @@ impl<T> Node<T> {
             Node::Leaf { entries } => entries.iter().map(|(m, _)| *m).collect(),
             Node::Inner { children } => children.iter().map(|(m, _)| *m).collect(),
         };
-        rects
-            .into_iter()
-            .reduce(|a, b| a.union(&b))
-            .unwrap_or(Mbr::new(0.0, 0.0, 0.0, 0.0))
+        rects.into_iter().reduce(|a, b| a.union(&b)).unwrap_or(Mbr::new(0.0, 0.0, 0.0, 0.0))
     }
-
 }
 
 /// An R-tree mapping rectangles to items.
@@ -91,7 +87,8 @@ impl<T> RTree<T> {
         let mut height = 1;
         let mut level = leaves;
         while level.len() > 1 {
-            let mut next: Vec<(Mbr, Box<Node<T>>)> = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            let mut next: Vec<(Mbr, Box<Node<T>>)> =
+                Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
             let mut level_iter = level.into_iter().peekable();
             while level_iter.peek().is_some() {
                 let children: Vec<(Mbr, Box<Node<T>>)> =
@@ -280,15 +277,19 @@ fn insert_rec<T>(node: &mut Node<T>, mbr: Mbr, item: T) -> Option<(Node<T>, Node
     }
 }
 
+/// One half of a node split: the entries assigned to a group.
+type SplitGroup<E> = Vec<(Mbr, E)>;
+
 /// Guttman's quadratic split over any (Mbr, payload) entries.
-fn quadratic_split<E>(entries: Vec<(Mbr, E)>) -> (Vec<(Mbr, E)>, Vec<(Mbr, E)>) {
+fn quadratic_split<E>(entries: Vec<(Mbr, E)>) -> (SplitGroup<E>, SplitGroup<E>) {
     debug_assert!(entries.len() >= 2);
     // Pick the pair wasting the most area as seeds.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..entries.len() {
         for j in i + 1..entries.len() {
-            let waste =
-                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
             if waste > worst {
                 worst = waste;
                 s1 = i;
@@ -409,10 +410,8 @@ mod tests {
             assert!(w[0].0 <= w[1].0);
         }
         // Best-first matches brute force.
-        let mut brute: Vec<(f64, usize)> = grid_items(1000)
-            .into_iter()
-            .map(|(m, i)| (target.distance_to_mbr(&m), i))
-            .collect();
+        let mut brute: Vec<(f64, usize)> =
+            grid_items(1000).into_iter().map(|(m, i)| (target.distance_to_mbr(&m), i)).collect();
         brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for (got, want) in results.iter().zip(brute.iter()) {
             assert!((got.0 - want.0).abs() < 1e-12);

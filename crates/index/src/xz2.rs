@@ -205,10 +205,7 @@ mod tests {
         let mbr = Mbr::new(0.40, 0.40, 0.43, 0.42);
         let code = x.encode(&x.index_mbr(&mbr));
         let ranges = x.query_ranges(&mbr.extended(0.01), 0);
-        assert!(
-            ranges.iter().any(|r| r.contains(code)),
-            "stored code {code} missed by {ranges:?}"
-        );
+        assert!(ranges.iter().any(|r| r.contains(code)), "stored code {code} missed by {ranges:?}");
     }
 
     #[test]
@@ -259,8 +256,7 @@ mod tests {
             .map(|r| r.len())
             .sum();
         let mbr = Mbr::from_points(points.iter()).unwrap();
-        let xz2_values: u64 =
-            xz2.query_ranges(&mbr.extended(eps), 0).iter().map(|r| r.len()).sum();
+        let xz2_values: u64 = xz2.query_ranges(&mbr.extended(eps), 0).iter().map(|r| r.len()).sum();
         // XZ2 ranges cover whole subtrees of elements; XZ* covers a narrow
         // resolution band with shape filtering. Compare per-element scan
         // volume: each XZ2 value ~ 1 element of trajectories, each XZ*

@@ -80,10 +80,10 @@ impl XzStar {
         let x0 = cell.x as f64 * w;
         let y0 = cell.y as f64 * w;
         [
-            Mbr::new(x0, y0, x0 + w, y0 + w),                         // a
-            Mbr::new(x0 + w, y0, x0 + 2.0 * w, y0 + w),               // b
-            Mbr::new(x0, y0 + w, x0 + w, y0 + 2.0 * w),               // c
-            Mbr::new(x0 + w, y0 + w, x0 + 2.0 * w, y0 + 2.0 * w),     // d
+            Mbr::new(x0, y0, x0 + w, y0 + w),                     // a
+            Mbr::new(x0 + w, y0, x0 + 2.0 * w, y0 + w),           // b
+            Mbr::new(x0, y0 + w, x0 + w, y0 + 2.0 * w),           // c
+            Mbr::new(x0 + w, y0 + w, x0 + 2.0 * w, y0 + 2.0 * w), // d
         ]
     }
 
@@ -180,10 +180,7 @@ impl XzStar {
             debug_assert!(p <= 9, "code 10 never occurs at the root (r >= 1)");
             return self.root_block_start() + p - 1;
         }
-        debug_assert!(
-            p <= 9 || l == self.max_resolution,
-            "code 10 only at max resolution"
-        );
+        debug_assert!(p <= 9 || l == self.max_resolution, "code 10 only at max resolution");
         let mut v = 0u64;
         for (i, &digit) in space.cell.sequence().iter().enumerate() {
             v += digit as u64 * self.n_is(i as u8 + 1);
@@ -214,16 +211,10 @@ impl XzStar {
         loop {
             if cell.level == self.max_resolution {
                 debug_assert!(rem < 10);
-                return Some(IndexSpace {
-                    cell,
-                    code: PositionCode::new(rem as u8 + 1)?,
-                });
+                return Some(IndexSpace { cell, code: PositionCode::new(rem as u8 + 1)? });
             }
             if rem < 9 {
-                return Some(IndexSpace {
-                    cell,
-                    code: PositionCode::new(rem as u8 + 1)?,
-                });
+                return Some(IndexSpace { cell, code: PositionCode::new(rem as u8 + 1)? });
             }
             rem -= 9;
             let n_child = self.n_is(cell.level + 1);
@@ -343,7 +334,8 @@ mod tests {
         let x = xz(12);
         let mut rng_state = 12345u64;
         let mut rnd = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (rng_state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..2000 {

@@ -135,10 +135,7 @@ impl PositionCode {
 
     /// The code for a quad set, if it is one of the ten feasible sets.
     pub fn from_quads(set: QuadSet) -> Option<PositionCode> {
-        CODE_SETS
-            .iter()
-            .position(|&s| s == set)
-            .map(|i| PositionCode(i as u8 + 1))
+        CODE_SETS.iter().position(|&s| s == set).map(|i| PositionCode(i as u8 + 1))
     }
 
     /// Whether a quad set is feasible: it must intersect the left column
@@ -161,9 +158,7 @@ impl PositionCode {
 /// ε from the query (Lemma 10 at the granularity of whole elements): a code
 /// survives iff none of its quads is far.
 pub fn surviving_codes(far: QuadSet, at_max_resolution: bool) -> Vec<PositionCode> {
-    PositionCode::all(at_max_resolution)
-        .filter(|c| !c.quads().intersects(far))
-        .collect()
+    PositionCode::all(at_max_resolution).filter(|c| !c.quads().intersects(far)).collect()
 }
 
 /// The §IV-B discussion's I/O-reduction fraction for a given far-quad set,

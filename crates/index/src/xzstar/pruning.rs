@@ -118,9 +118,7 @@ pub(crate) fn cover_boxes(points: &[Point], theta: f64) -> Vec<OrientedBox> {
     let mut boxes = Vec::with_capacity(rep.len().saturating_sub(1));
     for w in rep.windows(2) {
         let (s, e) = (w[0] as usize, w[1] as usize);
-        if let Some(b) =
-            OrientedBox::from_points_along(points[s], points[e], &points[s..=e])
-        {
+        if let Some(b) = OrientedBox::from_points_along(points[s], points[e], &points[s..=e]) {
             boxes.push(b);
         }
     }
@@ -136,10 +134,7 @@ pub(crate) fn query_dist_to_rect_lb(ctx: &QueryContext, rect: &Mbr) -> f64 {
         return min_point_dist_to_rect(&ctx.points, rect);
     }
     let rect_box = OrientedBox::from_mbr(rect);
-    ctx.cover_boxes
-        .iter()
-        .map(|b| b.distance_to_box(&rect_box))
-        .fold(f64::INFINITY, f64::min)
+    ctx.cover_boxes.iter().map(|b| b.distance_to_box(&rect_box)).fold(f64::INFINITY, f64::min)
 }
 
 /// Definition 9 / Lemma 7: the largest resolution whose enlarged elements
@@ -174,11 +169,7 @@ pub(crate) fn max_resolution_bound(index: &XzStar, query_mbr: &Mbr, eps: f64) ->
 /// edge is guaranteed to carry a trajectory point, so this lower-bounds the
 /// similarity distance to any trajectory inside `region` (Lemma 9).
 pub fn min_dist_ee(query_mbr: &Mbr, region: &Mbr) -> f64 {
-    query_mbr
-        .edges()
-        .iter()
-        .map(|edge| region.distance_to_segment(edge))
-        .fold(0.0f64, f64::max)
+    query_mbr.edges().iter().map(|edge| region.distance_to_segment(edge)).fold(0.0f64, f64::max)
 }
 
 /// Definition 11: `minDistIS` against a union of rectangles (the quads of
@@ -187,23 +178,14 @@ pub fn min_dist_is(query_mbr: &Mbr, rects: &[Mbr]) -> f64 {
     query_mbr
         .edges()
         .iter()
-        .map(|edge| {
-            rects
-                .iter()
-                .map(|r| r.distance_to_segment(edge))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|edge| rects.iter().map(|r| r.distance_to_segment(edge)).fold(f64::INFINITY, f64::min))
         .fold(0.0f64, f64::max)
 }
 
 /// Lemma 10 helper: minimum distance from the query's *point set* to a
 /// rectangle.
 pub(crate) fn min_point_dist_to_rect(points: &[Point], rect: &Mbr) -> f64 {
-    points
-        .iter()
-        .map(|p| rect.distance_sq_to_point(p))
-        .fold(f64::INFINITY, f64::min)
-        .sqrt()
+    points.iter().map(|p| rect.distance_sq_to_point(p)).fold(f64::INFINITY, f64::min).sqrt()
 }
 
 /// The global pruning engine.
@@ -441,11 +423,7 @@ mod tests {
         let far = index.encode(&index.index_points(&pts(&[(0.9, 0.9), (0.92, 0.92)])));
         assert!(!values.contains(&far));
         // Candidate count is a tiny fraction of the total space.
-        assert!(
-            (values.len() as u64) < index.total_values() / 1000,
-            "{} candidates",
-            values.len()
-        );
+        assert!((values.len() as u64) < index.total_values() / 1000, "{} candidates", values.len());
     }
 
     #[test]
@@ -476,10 +454,7 @@ mod tests {
             let q = QueryContext::new(&index, query.clone(), eps);
             let values: std::collections::HashSet<u64> =
                 pruner.query_values(&q).into_iter().collect();
-            assert!(
-                prev.is_subset(&values),
-                "candidates lost when eps grew to {eps}"
-            );
+            assert!(prev.is_subset(&values), "candidates lost when eps grew to {eps}");
             prev = values;
         }
     }

@@ -8,7 +8,10 @@
 //! no unexpanded element could produce a nearer one.
 
 use super::position_code::{PositionCode, QuadSet};
-use super::pruning::{cover_boxes, max_resolution_bound, min_dist_ee, min_dist_is, min_point_dist_to_rect, PRUNE_SLACK};
+use super::pruning::{
+    cover_boxes, max_resolution_bound, min_dist_ee, min_dist_is, min_point_dist_to_rect,
+    PRUNE_SLACK,
+};
 use super::{IndexSpace, XzStar};
 use crate::quad::Cell;
 use std::cmp::Reverse;
@@ -79,10 +82,7 @@ impl<'a> BestFirst<'a> {
             return min_point_dist_to_rect(&self.points, rect);
         }
         let rect_box = trass_geo::OrientedBox::from_mbr(rect);
-        self.boxes
-            .iter()
-            .map(|b| b.distance_to_box(&rect_box))
-            .fold(f64::INFINITY, f64::min)
+        self.boxes.iter().map(|b| b.distance_to_box(&rect_box)).fold(f64::INFINITY, f64::min)
     }
 
     /// Pops the nearest index space whose lower-bound distance is `<= eps`.
@@ -90,11 +90,8 @@ impl<'a> BestFirst<'a> {
     /// results exist); it may tighten between calls but must never loosen.
     /// Returns `None` when no remaining space can beat `eps`.
     pub fn next_space(&mut self, eps: f64) -> Option<SpaceCandidate> {
-        let min_r = if eps.is_finite() {
-            self.index.sequence_length(&self.q_mbr.extended(eps))
-        } else {
-            0
-        };
+        let min_r =
+            if eps.is_finite() { self.index.sequence_length(&self.q_mbr.extended(eps)) } else { 0 };
         let max_r = max_resolution_bound(self.index, &self.q_mbr, eps);
         loop {
             // Expand elements while the nearest unexpanded element could

@@ -149,10 +149,7 @@ impl Block {
 
     /// Binary-searches for an exact key.
     pub fn get(&self, key: &[u8]) -> Option<&BlockEntry> {
-        self.entries
-            .binary_search_by(|e| e.key.as_ref().cmp(key))
-            .ok()
-            .map(|i| &self.entries[i])
+        self.entries.binary_search_by(|e| e.key.as_ref().cmp(key)).ok().map(|i| &self.entries[i])
     }
 
     /// Index of the first entry with key `>= key`.

@@ -1,12 +1,13 @@
 //! Sharded multi-region cluster emulation.
 //!
 //! The paper's deployment spreads trajectories over HBase regions via a
-//! hash *shard* prefix in the rowkey (§IV-E): `rowkey = shard + index value
-//! + tid`. The [`Cluster`] reproduces that topology as one [`LsmStore`] per
-//! shard, routed by the first key byte. Scans over multiple key ranges fan
-//! out across the owning regions — optionally on parallel threads, standing
-//! in for the evaluation's five region servers — and filter push-down runs
-//! inside each region, as a coprocessor would.
+//! hash *shard* prefix in the rowkey (§IV-E):
+//! `rowkey = shard + index value + tid`. The [`Cluster`] reproduces that
+//! topology as one [`LsmStore`] per shard, routed by the first key byte.
+//! Scans over multiple key ranges fan out across the owning regions —
+//! optionally on parallel threads, standing in for the evaluation's five
+//! region servers — and filter push-down runs inside each region, as a
+//! coprocessor would.
 
 use crate::error::{KvError, Result};
 use crate::filter::{KeepAll, ScanFilter};
@@ -15,6 +16,8 @@ use crate::store::{LsmStore, StoreOptions};
 use crate::types::{Entry, KeyRange};
 use bytes::Bytes;
 use std::sync::Arc;
+use std::time::Instant;
+use trass_obs::{Counter, Histogram, Registry};
 
 /// Cluster topology and per-region store tuning.
 #[derive(Debug, Clone)]
@@ -27,11 +30,20 @@ pub struct ClusterOptions {
     pub store: StoreOptions,
     /// Fan scans out across OS threads, one per involved region.
     pub parallel_scans: bool,
+    /// Observability registry shared by every region (each labelled with
+    /// its shard). `None` creates a private one, reachable via
+    /// [`Cluster::registry`].
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ClusterOptions {
     fn default() -> Self {
-        ClusterOptions { shards: 8, store: StoreOptions::default(), parallel_scans: true }
+        ClusterOptions {
+            shards: 8,
+            store: StoreOptions::default(),
+            parallel_scans: true,
+            registry: None,
+        }
     }
 }
 
@@ -45,7 +57,17 @@ impl ClusterOptions {
 /// A sharded key-value cluster.
 pub struct Cluster {
     regions: Vec<Arc<LsmStore>>,
+    /// Per-region scan fan-out metrics, parallel to `regions`.
+    scan_obs: Vec<RegionScanObs>,
+    registry: Arc<Registry>,
     opts: ClusterOptions,
+}
+
+/// Fan-out accounting for one region: how many scan requests it served and
+/// how long each took, resolved once at open.
+struct RegionScanObs {
+    scans: Arc<Counter>,
+    seconds: Arc<Histogram>,
 }
 
 impl Cluster {
@@ -54,15 +76,38 @@ impl Cluster {
         if opts.shards == 0 {
             return Err(KvError::invalid("cluster requires at least one shard"));
         }
+        let registry = opts.registry.clone().unwrap_or_else(Registry::new_shared);
         let mut regions = Vec::with_capacity(opts.shards as usize);
+        let mut scan_obs = Vec::with_capacity(opts.shards as usize);
         for i in 0..opts.shards {
             let mut store_opts = opts.store.clone();
             if let Some(dir) = &opts.store.dir {
                 store_opts.dir = Some(dir.join(format!("region-{i}")));
             }
+            store_opts.registry = Some(Arc::clone(&registry));
+            store_opts.shard_label = Some(i.to_string());
             regions.push(Arc::new(LsmStore::open(store_opts)?));
+            let shard = i.to_string();
+            let labels = [("shard", shard.as_str())];
+            scan_obs.push(RegionScanObs {
+                scans: registry.counter("trass_kv_region_scans", &labels),
+                seconds: registry.timer("trass_kv_region_scan_seconds", &labels),
+            });
         }
-        Ok(Cluster { regions, opts })
+        Ok(Cluster { regions, scan_obs, registry, opts })
+    }
+
+    /// The registry every region reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Mirrors each region's cumulative I/O counters into the shared
+    /// registry as per-shard `trass_kv_*` counters. Call before scraping.
+    pub fn publish_metrics(&self) {
+        for r in &self.regions {
+            r.publish_metrics();
+        }
     }
 
     /// Number of shards.
@@ -134,7 +179,15 @@ impl Cluster {
                     .map(|&shard| {
                         let region = Arc::clone(&self.regions[shard]);
                         let ranges = per_shard[shard].clone();
-                        scope.spawn(move |_| scan_region(&region, &ranges, filter))
+                        let scans = Arc::clone(&self.scan_obs[shard].scans);
+                        let seconds = Arc::clone(&self.scan_obs[shard].seconds);
+                        scope.spawn(move |_| {
+                            scans.inc();
+                            let t = Instant::now();
+                            let r = scan_region(&region, &ranges, filter);
+                            seconds.record_duration(t.elapsed());
+                            r
+                        })
                     })
                     .collect();
                 for h in handles {
@@ -150,7 +203,11 @@ impl Cluster {
         } else {
             let mut out = Vec::new();
             for &shard in &involved {
-                out.extend(scan_region(&self.regions[shard], &per_shard[shard], filter)?);
+                self.scan_obs[shard].scans.inc();
+                let t = Instant::now();
+                let r = scan_region(&self.regions[shard], &per_shard[shard], filter)?;
+                self.scan_obs[shard].seconds.record_duration(t.elapsed());
+                out.extend(r);
             }
             Ok(out)
         }
@@ -189,10 +246,7 @@ impl Cluster {
 
     /// Per-region live-row upper bounds, for skew diagnostics (Fig. 19).
     pub fn region_entry_counts(&self) -> Vec<u64> {
-        self.regions
-            .iter()
-            .map(|r| r.table_entries() + r.memtable_len() as u64)
-            .collect()
+        self.regions.iter().map(|r| r.table_entries() + r.memtable_len() as u64).collect()
     }
 }
 
@@ -229,7 +283,7 @@ mod tests {
         Cluster::open(ClusterOptions {
             shards,
             store: StoreOptions { memtable_bytes: 1 << 14, ..StoreOptions::in_memory() },
-            parallel_scans: true,
+            ..ClusterOptions::default()
         })
         .unwrap()
     }
@@ -242,10 +296,7 @@ mod tests {
                 c.put(key(shard, &format!("k{i:03}")), format!("v{shard}-{i}")).unwrap();
             }
         }
-        assert_eq!(
-            c.get(&key(2, "k007")).unwrap().as_deref(),
-            Some(&b"v2-7"[..])
-        );
+        assert_eq!(c.get(&key(2, "k007")).unwrap().as_deref(), Some(&b"v2-7"[..]));
         let counts = c.region_entry_counts();
         assert_eq!(counts.len(), 4);
         assert!(counts.iter().all(|&n| n == 25), "counts: {counts:?}");
@@ -292,8 +343,7 @@ mod tests {
                 FilterDecision::Skip
             }
         };
-        let ranges: Vec<KeyRange> =
-            (0..3u8).map(|s| KeyRange::prefix(vec![s])).collect();
+        let ranges: Vec<KeyRange> = (0..3u8).map(|s| KeyRange::prefix(vec![s])).collect();
         let entries = c.scan_ranges(&ranges, &even).unwrap();
         assert_eq!(entries.len(), 45);
         let m = c.metrics_snapshot();
@@ -314,6 +364,34 @@ mod tests {
         assert!(m.blocks_read >= 2);
         c.reset_metrics();
         assert_eq!(c.metrics_snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn scan_fanout_reports_per_region() {
+        let c = cluster(4);
+        for shard in 0..4u8 {
+            for i in 0..50 {
+                c.put(key(shard, &format!("k{i:03}")), "v").unwrap();
+            }
+        }
+        // Touch shards 0 and 2 only.
+        let ranges = vec![
+            KeyRange::new(key(0, "k000"), key(0, "k999")),
+            KeyRange::new(key(2, "k000"), key(2, "k999")),
+        ];
+        let _ = c.scan_ranges(&ranges, &KeepAll).unwrap();
+        let r = c.registry();
+        assert_eq!(r.counter("trass_kv_region_scans", &[("shard", "0")]).get(), 1);
+        assert_eq!(r.counter("trass_kv_region_scans", &[("shard", "1")]).get(), 0);
+        assert_eq!(r.counter("trass_kv_region_scans", &[("shard", "2")]).get(), 1);
+        assert_eq!(r.timer("trass_kv_region_scan_seconds", &[("shard", "0")]).count(), 1);
+        // Publishing mirrors per-shard I/O counters into the same registry.
+        c.publish_metrics();
+        assert_eq!(r.counter("trass_kv_entries_scanned", &[("shard", "0")]).get(), 50);
+        assert_eq!(r.counter("trass_kv_entries_scanned", &[("shard", "1")]).get(), 0);
+        // All regions share one registry and label themselves by shard.
+        let text = r.render_prometheus();
+        assert!(text.contains("trass_kv_region_scans{shard=\"2\"} 1"));
     }
 
     #[test]
@@ -338,6 +416,7 @@ mod tests {
             shards: 2,
             store: StoreOptions::at_dir(&dir),
             parallel_scans: false,
+            ..ClusterOptions::default()
         };
         {
             let c = Cluster::open(opts.clone()).unwrap();

@@ -24,9 +24,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod bloom;
 pub mod cache;
-pub mod block;
 pub mod cluster;
 pub mod crc;
 mod error;
@@ -42,6 +42,6 @@ pub mod wal;
 pub use cluster::{Cluster, ClusterOptions};
 pub use error::{KvError, Result};
 pub use filter::{FilterDecision, ScanFilter};
-pub use metrics::IoMetrics;
+pub use metrics::{IoMetrics, MetricsSnapshot};
 pub use store::{LsmStore, StoreOptions};
 pub use types::{Entry, KeyRange};

@@ -116,10 +116,8 @@ mod tests {
         for k in ["d", "a", "c", "b", "e"] {
             m.put(b(k), b("v"));
         }
-        let keys: Vec<_> = m
-            .range(&KeyRange::new(&b"b"[..], &b"e"[..]))
-            .map(|(k, _)| k.clone())
-            .collect();
+        let keys: Vec<_> =
+            m.range(&KeyRange::new(&b"b"[..], &b"e"[..])).map(|(k, _)| k.clone()).collect();
         assert_eq!(keys, vec![b("b"), b("c"), b("d")]);
     }
 

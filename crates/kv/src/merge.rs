@@ -149,21 +149,15 @@ mod tests {
 
     #[test]
     fn newest_source_wins_ties() {
-        let m = MergeIter::new(vec![
-            src(vec![("k", Some("new"))]),
-            src(vec![("k", Some("old"))]),
-        ])
-        .unwrap();
+        let m = MergeIter::new(vec![src(vec![("k", Some("new"))]), src(vec![("k", Some("old"))])])
+            .unwrap();
         assert_eq!(collect(m), vec![("k".into(), Some("new".into()))]);
     }
 
     #[test]
     fn tombstone_shadows_older_value() {
-        let m = MergeIter::new(vec![
-            src(vec![("k", None)]),
-            src(vec![("k", Some("old"))]),
-        ])
-        .unwrap();
+        let m =
+            MergeIter::new(vec![src(vec![("k", None)]), src(vec![("k", Some("old"))])]).unwrap();
         assert_eq!(collect(m), vec![("k".into(), None)]);
     }
 

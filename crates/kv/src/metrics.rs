@@ -15,9 +15,11 @@ pub struct IoMetrics {
     bytes_read: AtomicU64,
     entries_scanned: AtomicU64,
     entries_returned: AtomicU64,
+    bloom_probes: AtomicU64,
     bloom_skips: AtomicU64,
     range_scans: AtomicU64,
     cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl IoMetrics {
@@ -29,6 +31,10 @@ impl IoMetrics {
     pub(crate) fn record_block_read(&self, bytes: usize) {
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_bloom_probe(&self) {
+        self.bloom_probes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_bloom_skip(&self) {
@@ -51,6 +57,10 @@ impl IoMetrics {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Data blocks fetched from SSTables.
     pub fn blocks_read(&self) -> u64 {
         self.blocks_read.load(Ordering::Relaxed)
@@ -71,6 +81,11 @@ impl IoMetrics {
         self.entries_returned.load(Ordering::Relaxed)
     }
 
+    /// Bloom-filter membership tests performed by point lookups.
+    pub fn bloom_probes(&self) -> u64 {
+        self.bloom_probes.load(Ordering::Relaxed)
+    }
+
     /// Point lookups short-circuited by the bloom filter.
     pub fn bloom_skips(&self) -> u64 {
         self.bloom_skips.load(Ordering::Relaxed)
@@ -86,6 +101,12 @@ impl IoMetrics {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
+    /// Cache lookups that fell through to storage (only counted when a
+    /// cache is configured).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
     /// Takes a point-in-time copy.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -93,9 +114,11 @@ impl IoMetrics {
             bytes_read: self.bytes_read(),
             entries_scanned: self.entries_scanned(),
             entries_returned: self.entries_returned(),
+            bloom_probes: self.bloom_probes(),
             bloom_skips: self.bloom_skips(),
             range_scans: self.range_scans(),
             cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
         }
     }
 
@@ -105,9 +128,11 @@ impl IoMetrics {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.entries_scanned.store(0, Ordering::Relaxed);
         self.entries_returned.store(0, Ordering::Relaxed);
+        self.bloom_probes.store(0, Ordering::Relaxed);
         self.bloom_skips.store(0, Ordering::Relaxed);
         self.range_scans.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -122,12 +147,16 @@ pub struct MetricsSnapshot {
     pub entries_scanned: u64,
     /// Rows returned to clients.
     pub entries_returned: u64,
+    /// Bloom-filter membership tests.
+    pub bloom_probes: u64,
     /// Bloom-filter short circuits.
     pub bloom_skips: u64,
     /// Range scans executed.
     pub range_scans: u64,
     /// Block reads served from the cache.
     pub cache_hits: u64,
+    /// Cache lookups that fell through to storage.
+    pub cache_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -138,9 +167,11 @@ impl MetricsSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             entries_scanned: self.entries_scanned.saturating_sub(earlier.entries_scanned),
             entries_returned: self.entries_returned.saturating_sub(earlier.entries_returned),
+            bloom_probes: self.bloom_probes.saturating_sub(earlier.bloom_probes),
             bloom_skips: self.bloom_skips.saturating_sub(earlier.bloom_skips),
             range_scans: self.range_scans.saturating_sub(earlier.range_scans),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
         }
     }
 
@@ -151,9 +182,31 @@ impl MetricsSnapshot {
             bytes_read: self.bytes_read + other.bytes_read,
             entries_scanned: self.entries_scanned + other.entries_scanned,
             entries_returned: self.entries_returned + other.entries_returned,
+            bloom_probes: self.bloom_probes + other.bloom_probes,
             bloom_skips: self.bloom_skips + other.bloom_skips,
             range_scans: self.range_scans + other.range_scans,
             cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+        }
+    }
+
+    /// Mirrors this snapshot into absolute-valued registry counters named
+    /// `trass_kv_<field>` with the given labels, for Prometheus export.
+    /// `IoMetrics` counters are monotone, so repeated publishes keep the
+    /// mirrored counters monotone too.
+    pub fn publish_to(&self, registry: &trass_obs::Registry, labels: &[(&str, &str)]) {
+        for (name, v) in [
+            ("trass_kv_blocks_read", self.blocks_read),
+            ("trass_kv_bytes_read", self.bytes_read),
+            ("trass_kv_entries_scanned", self.entries_scanned),
+            ("trass_kv_entries_returned", self.entries_returned),
+            ("trass_kv_bloom_probes", self.bloom_probes),
+            ("trass_kv_bloom_skips", self.bloom_skips),
+            ("trass_kv_range_scans", self.range_scans),
+            ("trass_kv_cache_hits", self.cache_hits),
+            ("trass_kv_cache_misses", self.cache_misses),
+        ] {
+            registry.counter(name, labels).set(v);
         }
     }
 }
@@ -169,14 +222,20 @@ mod tests {
         m.record_block_read(50);
         m.record_entry_scanned();
         m.record_entry_returned();
+        m.record_bloom_probe();
         m.record_bloom_skip();
         m.record_range_scan();
+        m.record_cache_hit();
+        m.record_cache_miss();
         assert_eq!(m.blocks_read(), 2);
         assert_eq!(m.bytes_read(), 150);
         assert_eq!(m.entries_scanned(), 1);
         assert_eq!(m.entries_returned(), 1);
+        assert_eq!(m.bloom_probes(), 1);
         assert_eq!(m.bloom_skips(), 1);
         assert_eq!(m.range_scans(), 1);
+        assert_eq!(m.cache_hits(), 1);
+        assert_eq!(m.cache_misses(), 1);
     }
 
     #[test]
@@ -193,6 +252,38 @@ mod tests {
         assert_eq!(d.entries_scanned, 1);
         let sum = d.plus(&s1);
         assert_eq!(sum.bytes_read, 30);
+    }
+
+    #[test]
+    fn cache_misses_flow_through_snapshot_math() {
+        let m = IoMetrics::new();
+        m.record_cache_miss();
+        m.record_cache_miss();
+        let s1 = m.snapshot();
+        assert_eq!(s1.cache_misses, 2);
+        m.record_cache_miss();
+        m.record_bloom_probe();
+        let s2 = m.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.cache_misses, 1);
+        assert_eq!(d.bloom_probes, 1);
+        assert_eq!(s1.plus(&d), s2);
+    }
+
+    #[test]
+    fn publish_mirrors_every_field() {
+        let m = IoMetrics::new();
+        m.record_block_read(64);
+        m.record_cache_hit();
+        m.record_cache_miss();
+        let r = trass_obs::Registry::new();
+        m.snapshot().publish_to(&r, &[("shard", "3")]);
+        assert_eq!(r.counter("trass_kv_blocks_read", &[("shard", "3")]).get(), 1);
+        assert_eq!(r.counter("trass_kv_bytes_read", &[("shard", "3")]).get(), 64);
+        assert_eq!(r.counter("trass_kv_cache_hits", &[("shard", "3")]).get(), 1);
+        assert_eq!(r.counter("trass_kv_cache_misses", &[("shard", "3")]).get(), 1);
+        // One mirrored counter per snapshot field.
+        assert_eq!(r.len(), 9);
     }
 
     #[test]

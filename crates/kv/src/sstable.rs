@@ -16,8 +16,8 @@
 //! disk or fully in memory ([`SsData`]), which keeps unit tests and
 //! benchmark setups hermetic.
 
-use crate::bloom::BloomFilter;
 use crate::block::{Block, BlockBuilder, BlockEntry};
+use crate::bloom::BloomFilter;
 use crate::cache::BlockCache;
 use crate::crc::crc32c;
 use crate::error::{KvError, Result};
@@ -51,9 +51,9 @@ impl SsData {
         match self {
             SsData::Mem(b) => {
                 let start = offset as usize;
-                let end = start.checked_add(len).ok_or_else(|| {
-                    KvError::corruption("sstable read range overflow")
-                })?;
+                let end = start
+                    .checked_add(len)
+                    .ok_or_else(|| KvError::corruption("sstable read range overflow"))?;
                 if end > b.len() {
                     return Err(KvError::corruption("sstable read past end"));
                 }
@@ -250,17 +250,16 @@ impl SsTable {
             return Err(KvError::corruption("sstable shorter than footer"));
         }
         let footer = data.read_at(total - FOOTER_LEN as u64, FOOTER_LEN)?;
-        let u64_at = |i: usize| {
-            u64::from_le_bytes(footer[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
-        };
+        let u64_at =
+            |i: usize| u64::from_le_bytes(footer[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
         let (index_off, index_len) = (u64_at(0), u64_at(1));
         let (bloom_off, bloom_len) = (u64_at(2), u64_at(3));
         let n_entries = u64_at(4);
         if u64_at(5) != MAGIC {
             return Err(KvError::corruption("sstable bad magic"));
         }
-        if index_off.checked_add(index_len).map_or(true, |e| e > total)
-            || bloom_off.checked_add(bloom_len).map_or(true, |e| e > total)
+        if index_off.checked_add(index_len).is_none_or(|e| e > total)
+            || bloom_off.checked_add(bloom_len).is_none_or(|e| e > total)
         {
             return Err(KvError::corruption("sstable footer offsets out of range"));
         }
@@ -282,8 +281,7 @@ impl SsTable {
             if pos + 4 > body.len() {
                 return Err(KvError::corruption("sstable index entry truncated"));
             }
-            let klen =
-                u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + klen + 12 > body.len() {
                 return Err(KvError::corruption("sstable index entry truncated"));
@@ -319,11 +317,7 @@ impl SsTable {
         } else {
             let first = &index[0];
             let block = Block::decode(&data.read_at(first.offset, first.len as usize)?)?;
-            let min = block
-                .entries()
-                .first()
-                .map(|e| e.key.clone())
-                .unwrap_or_default();
+            let min = block.entries().first().map(|e| e.key.clone()).unwrap_or_default();
             (min, index.last().expect("non-empty").last_key.clone())
         };
 
@@ -366,6 +360,7 @@ impl SsTable {
                 metrics.record_cache_hit();
                 return Ok(block);
             }
+            metrics.record_cache_miss();
         }
         let e = &self.index[i];
         let raw = self.data.read_at(e.offset, e.len as usize)?;
@@ -388,6 +383,7 @@ impl SsTable {
         if self.index.is_empty() || key < self.min_key.as_ref() || key > self.max_key.as_ref() {
             return Ok(None);
         }
+        metrics.record_bloom_probe();
         if !self.bloom.may_contain(key) {
             metrics.record_bloom_skip();
             return Ok(None);
@@ -403,16 +399,9 @@ impl SsTable {
     /// Creates an *owning* scan over `range`: it keeps the table and
     /// metrics alive itself, so it can outlive the store lock (used by
     /// snapshot scans).
-    pub fn scan_owned(
-        self: Arc<Self>,
-        range: KeyRange,
-        metrics: Arc<IoMetrics>,
-    ) -> OwnedScan {
-        let start_block = if self.index.is_empty() {
-            0
-        } else {
-            self.block_for(range.start.as_ref())
-        };
+    pub fn scan_owned(self: Arc<Self>, range: KeyRange, metrics: Arc<IoMetrics>) -> OwnedScan {
+        let start_block =
+            if self.index.is_empty() { 0 } else { self.block_for(range.start.as_ref()) };
         OwnedScan {
             table: self,
             metrics,
@@ -430,11 +419,8 @@ impl SsTable {
         range: KeyRange,
         metrics: &'a IoMetrics,
     ) -> SsTableScan<'a> {
-        let start_block = if self.index.is_empty() {
-            0
-        } else {
-            self.block_for(range.start.as_ref())
-        };
+        let start_block =
+            if self.index.is_empty() { 0 } else { self.block_for(range.start.as_ref()) };
         SsTableScan {
             table: self,
             metrics,
@@ -581,10 +567,7 @@ mod tests {
     fn point_lookups() {
         let t = build(1000, 512);
         let m = IoMetrics::default();
-        assert_eq!(
-            t.get(b"key-000042", &m).unwrap().unwrap().as_deref(),
-            Some(&b"value-42"[..])
-        );
+        assert_eq!(t.get(b"key-000042", &m).unwrap().unwrap().as_deref(), Some(&b"value-42"[..]));
         assert_eq!(t.get(b"key-000003", &m).unwrap(), Some(None), "tombstone visible");
         assert_eq!(t.get(b"key-999999", &m).unwrap(), None);
         assert_eq!(t.get(b"absent", &m).unwrap(), None);
@@ -702,10 +685,7 @@ mod tests {
         std::fs::write(&path, b.finish()).unwrap();
         let t = SsTable::open_file(&path).unwrap();
         let m = IoMetrics::default();
-        assert_eq!(
-            t.get(b"key-0123", &m).unwrap().unwrap().as_deref(),
-            Some(&b"val-123"[..])
-        );
+        assert_eq!(t.get(b"key-0123", &m).unwrap().unwrap().as_deref(), Some(&b"val-123"[..]));
         assert_eq!(t.scan(KeyRange::all(), &m).count(), 200);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -13,6 +13,8 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
+use trass_obs::{Counter, Histogram, Registry};
 
 /// Tuning knobs for an [`LsmStore`].
 #[derive(Debug, Clone)]
@@ -32,6 +34,13 @@ pub struct StoreOptions {
     pub sync_writes: bool,
     /// Decoded-block cache capacity in bytes (0 disables the cache).
     pub block_cache_bytes: usize,
+    /// Observability registry the store reports into. `None` gives the
+    /// store a private registry; a [`Cluster`](crate::Cluster) passes one
+    /// shared registry to all its regions.
+    pub registry: Option<Arc<Registry>>,
+    /// Value of the `shard` label on this store's metrics (set by the
+    /// cluster; standalone stores emit unlabelled series).
+    pub shard_label: Option<String>,
 }
 
 impl Default for StoreOptions {
@@ -44,6 +53,8 @@ impl Default for StoreOptions {
             compaction_threshold: 8,
             sync_writes: false,
             block_cache_bytes: 8 << 20,
+            registry: None,
+            shard_label: None,
         }
     }
 }
@@ -81,6 +92,46 @@ pub struct LsmStore {
     inner: RwLock<Inner>,
     metrics: Arc<IoMetrics>,
     cache: Option<Arc<BlockCache>>,
+    registry: Arc<Registry>,
+    obs: StoreObs,
+}
+
+/// Registry handles for the store's write and maintenance paths, resolved
+/// once at open so recording on the hot path is a single atomic add.
+struct StoreObs {
+    wal_append: Arc<Histogram>,
+    flush_seconds: Arc<Histogram>,
+    flushes: Arc<Counter>,
+    flush_bytes: Arc<Counter>,
+    compaction_seconds: Arc<Histogram>,
+    compactions: Arc<Counter>,
+    compaction_bytes_written: Arc<Counter>,
+    compaction_blocks_read: Arc<Counter>,
+    compaction_bytes_read: Arc<Counter>,
+    compaction_entries_scanned: Arc<Counter>,
+}
+
+impl StoreObs {
+    fn new(registry: &Registry, shard: Option<&str>) -> StoreObs {
+        let labels: Vec<(&str, &str)> = match shard {
+            Some(s) => vec![("shard", s)],
+            None => Vec::new(),
+        };
+        StoreObs {
+            wal_append: registry.timer("trass_kv_wal_append_seconds", &labels),
+            flush_seconds: registry.timer("trass_kv_flush_seconds", &labels),
+            flushes: registry.counter("trass_kv_flushes", &labels),
+            flush_bytes: registry.counter("trass_kv_flush_bytes", &labels),
+            compaction_seconds: registry.timer("trass_kv_compaction_seconds", &labels),
+            compactions: registry.counter("trass_kv_compactions", &labels),
+            compaction_bytes_written: registry
+                .counter("trass_kv_compaction_bytes_written", &labels),
+            compaction_blocks_read: registry.counter("trass_kv_compaction_blocks_read", &labels),
+            compaction_bytes_read: registry.counter("trass_kv_compaction_bytes_read", &labels),
+            compaction_entries_scanned: registry
+                .counter("trass_kv_compaction_entries_scanned", &labels),
+        }
+    }
 }
 
 const WAL_FILE: &str = "wal.log";
@@ -89,8 +140,7 @@ const MANIFEST_FILE: &str = "MANIFEST";
 impl LsmStore {
     /// Opens (or creates) a store, replaying the WAL if one exists.
     pub fn open(opts: StoreOptions) -> Result<Self> {
-        let cache = (opts.block_cache_bytes > 0)
-            .then(|| BlockCache::new(opts.block_cache_bytes));
+        let cache = (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
         let mut tables = Vec::new();
         let mut file_names: Vec<String> = Vec::new();
         let mut next_table_id = 0u64;
@@ -127,11 +177,15 @@ impl LsmStore {
         } else {
             None
         };
+        let registry = opts.registry.clone().unwrap_or_else(Registry::new_shared);
+        let obs = StoreObs::new(&registry, opts.shard_label.as_deref());
         Ok(LsmStore {
             opts,
             inner: RwLock::new(Inner { memtable, wal, tables, file_names, next_table_id }),
             metrics: Arc::new(IoMetrics::new()),
             cache,
+            registry,
+            obs,
         })
     }
 
@@ -145,13 +199,31 @@ impl LsmStore {
         &self.metrics
     }
 
+    /// The registry this store reports durations and maintenance counters
+    /// into (shared with the cluster when opened through one).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Mirrors the store's cumulative I/O counters into its registry as
+    /// `trass_kv_*` counters (labelled with this store's shard, if any).
+    pub fn publish_metrics(&self) {
+        let labels: Vec<(&str, &str)> = match self.opts.shard_label.as_deref() {
+            Some(s) => vec![("shard", s)],
+            None => Vec::new(),
+        };
+        self.metrics.snapshot().publish_to(&self.registry, &labels);
+    }
+
     /// Writes a key-value pair.
     pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
         let (key, value) = (key.into(), value.into());
         {
             let mut inner = self.inner.write();
             if let Some(wal) = &mut inner.wal {
+                let t = Instant::now();
                 wal.append_put(&key, &value)?;
+                self.obs.wal_append.record_duration(t.elapsed());
             }
             inner.memtable.put(key, value);
         }
@@ -164,7 +236,9 @@ impl LsmStore {
         {
             let mut inner = self.inner.write();
             if let Some(wal) = &mut inner.wal {
+                let t = Instant::now();
                 wal.append_delete(&key)?;
+                self.obs.wal_append.record_duration(t.elapsed());
             }
             inner.memtable.delete(key);
         }
@@ -201,17 +275,11 @@ impl LsmStore {
         let inner = self.inner.read();
         let mut sources: Vec<Box<dyn Iterator<Item = Result<MergeItem>> + '_>> = Vec::new();
         // Newest first: memtable, then tables newest → oldest.
-        sources.push(Box::new(
-            inner
-                .memtable
-                .range(&range)
-                .map(|(k, v)| Ok((k.clone(), v.clone()))),
-        ));
+        sources
+            .push(Box::new(inner.memtable.range(&range).map(|(k, v)| Ok((k.clone(), v.clone())))));
         for table in inner.tables.iter().rev() {
             sources.push(Box::new(
-                table
-                    .scan(range.clone(), &self.metrics)
-                    .map(|r| r.map(|e| (e.key, e.value))),
+                table.scan(range.clone(), &self.metrics).map(|r| r.map(|e| (e.key, e.value))),
             ));
         }
         let merged = MergeIter::new(sources)?;
@@ -241,11 +309,8 @@ impl LsmStore {
         self.metrics.record_range_scan();
         let (mem_items, tables) = {
             let inner = self.inner.read();
-            let mem: Vec<MergeItem> = inner
-                .memtable
-                .range(&range)
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect();
+            let mem: Vec<MergeItem> =
+                inner.memtable.range(&range).map(|(k, v)| (k.clone(), v.clone())).collect();
             (mem, inner.tables.clone())
         };
         let mut sources: Vec<Box<dyn Iterator<Item = Result<MergeItem>>>> =
@@ -254,9 +319,7 @@ impl LsmStore {
         for table in tables.into_iter().rev() {
             let metrics = Arc::clone(&self.metrics);
             sources.push(Box::new(
-                table
-                    .scan_owned(range.clone(), metrics)
-                    .map(|r| r.map(|e| (e.key, e.value))),
+                table.scan_owned(range.clone(), metrics).map(|r| r.map(|e| (e.key, e.value))),
             ));
         }
         Ok(SnapshotScan { merged: MergeIter::new(sources)?, metrics: Arc::clone(&self.metrics) })
@@ -288,12 +351,13 @@ impl LsmStore {
         if inner.memtable.is_empty() {
             return Ok(());
         }
-        let mut builder =
-            SsTableBuilder::new(self.opts.block_size, self.opts.bloom_bits_per_key);
+        let t = Instant::now();
+        let mut builder = SsTableBuilder::new(self.opts.block_size, self.opts.bloom_bits_per_key);
         for (k, v) in inner.memtable.iter() {
             builder.add(k, v.as_deref());
         }
         let encoded = builder.finish();
+        let flushed_bytes = encoded.len() as u64;
         let id = inner.next_table_id;
         inner.next_table_id += 1;
         let (table, name) = self.persist_table(id, encoded)?;
@@ -312,6 +376,9 @@ impl LsmStore {
             }
             inner.wal = Some(Wal::create(&dir.join(WAL_FILE), self.opts.sync_writes)?);
         }
+        self.obs.flushes.inc();
+        self.obs.flush_bytes.add(flushed_bytes);
+        self.obs.flush_seconds.record_duration(t.elapsed());
         Ok(())
     }
 
@@ -322,7 +389,10 @@ impl LsmStore {
         if inner.tables.len() <= 1 {
             return Ok(());
         }
-        let compaction_metrics = IoMetrics::new(); // do not pollute query metrics
+        let t = Instant::now();
+        // Compaction I/O is counted separately from query I/O, then
+        // published into dedicated `compaction_*` registry counters below.
+        let compaction_metrics = IoMetrics::new();
         let mut sources: Vec<Box<dyn Iterator<Item = Result<MergeItem>> + '_>> = Vec::new();
         for table in inner.tables.iter().rev() {
             sources.push(Box::new(
@@ -331,10 +401,11 @@ impl LsmStore {
                     .map(|r| r.map(|e| (e.key, e.value))),
             ));
         }
-        let mut builder =
-            SsTableBuilder::new(self.opts.block_size, self.opts.bloom_bits_per_key);
+        let mut builder = SsTableBuilder::new(self.opts.block_size, self.opts.bloom_bits_per_key);
+        let mut merged_rows = 0u64;
         for item in MergeIter::new(sources)? {
             let (key, value) = item?;
+            merged_rows += 1;
             // Full compaction: tombstones have shadowed everything they
             // ever will; drop them.
             if let Some(v) = value {
@@ -342,6 +413,7 @@ impl LsmStore {
             }
         }
         let encoded = builder.finish();
+        let written_bytes = encoded.len() as u64;
         let id = inner.next_table_id;
         inner.next_table_id += 1;
         let (table, name) = self.persist_table(id, encoded)?;
@@ -354,6 +426,13 @@ impl LsmStore {
                 std::fs::remove_file(dir.join(name)).ok();
             }
         }
+        let io = compaction_metrics.snapshot();
+        self.obs.compactions.inc();
+        self.obs.compaction_bytes_written.add(written_bytes);
+        self.obs.compaction_blocks_read.add(io.blocks_read);
+        self.obs.compaction_bytes_read.add(io.bytes_read);
+        self.obs.compaction_entries_scanned.add(merged_rows);
+        self.obs.compaction_seconds.record_duration(t.elapsed());
         Ok(())
     }
 
@@ -582,11 +661,7 @@ mod tests {
             let (k, v) = kv(i);
             s.put(k, v).unwrap();
         }
-        assert!(
-            s.n_tables() <= 5,
-            "compaction should bound table count, got {}",
-            s.n_tables()
-        );
+        assert!(s.n_tables() <= 5, "compaction should bound table count, got {}", s.n_tables());
         // All data still readable.
         for i in (0..5000).step_by(501) {
             let (k, v) = kv(i);
@@ -692,8 +767,7 @@ mod tests {
         }
         let range = KeyRange::new(&b"key-000050"[..], &b"key-000400"[..]);
         let collected = s.scan(range.clone()).unwrap();
-        let streamed: Vec<Entry> =
-            s.scan_snapshot(range).unwrap().map(|e| e.unwrap()).collect();
+        let streamed: Vec<Entry> = s.scan_snapshot(range).unwrap().map(|e| e.unwrap()).collect();
         assert_eq!(collected, streamed);
     }
 
@@ -741,6 +815,61 @@ mod tests {
         let warm = s.metrics().snapshot().since(&cold);
         assert!(warm.blocks_read > 0);
         assert_eq!(warm.cache_hits, 0);
+    }
+
+    #[test]
+    fn maintenance_paths_report_to_registry() {
+        let registry = trass_obs::Registry::new_shared();
+        let s = LsmStore::open(StoreOptions {
+            memtable_bytes: 1 << 14,
+            compaction_threshold: 4,
+            registry: Some(Arc::clone(&registry)),
+            shard_label: Some("7".to_string()),
+            ..StoreOptions::in_memory()
+        })
+        .unwrap();
+        for i in 0..200 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 200..400 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.flush().unwrap();
+        s.compact().unwrap();
+        let labels = [("shard", "7")];
+        assert!(registry.timer("trass_kv_flush_seconds", &labels).count() >= 2);
+        assert!(registry.counter("trass_kv_flush_bytes", &labels).get() > 0);
+        assert_eq!(registry.counter("trass_kv_compactions", &labels).get(), 1);
+        assert_eq!(registry.timer("trass_kv_compaction_seconds", &labels).count(), 1);
+        assert!(registry.counter("trass_kv_compaction_bytes_written", &labels).get() > 0);
+        assert!(registry.counter("trass_kv_compaction_blocks_read", &labels).get() > 0);
+        assert_eq!(registry.counter("trass_kv_compaction_entries_scanned", &labels).get(), 400);
+        // Compaction I/O must not leak into the store's query metrics.
+        assert_eq!(s.metrics().entries_scanned(), 0);
+        // Query-side counters are mirrored on demand.
+        let _ = s.scan(KeyRange::all()).unwrap();
+        s.publish_metrics();
+        assert_eq!(registry.counter("trass_kv_entries_scanned", &labels).get(), 400);
+        assert_eq!(registry.counter("trass_kv_range_scans", &labels).get(), 1);
+    }
+
+    #[test]
+    fn wal_appends_time_into_registry() {
+        let dir = std::env::temp_dir().join(format!("trass-store-obs-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let s = LsmStore::open(StoreOptions::at_dir(&dir)).unwrap();
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            s.put(k, v).unwrap();
+        }
+        s.delete("key-000000").unwrap();
+        let wal = s.registry().timer("trass_kv_wal_append_seconds", &[]);
+        assert_eq!(wal.count(), 51);
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -33,10 +33,7 @@ impl KeyRange {
     /// `[start, end)`.
     pub fn new(start: impl Into<Bytes>, end: impl Into<Bytes>) -> Self {
         let r = KeyRange { start: start.into(), end: Some(end.into()) };
-        debug_assert!(
-            r.end.as_ref().map_or(true, |e| *e >= r.start),
-            "inverted key range"
-        );
+        debug_assert!(r.end.as_ref().is_none_or(|e| *e >= r.start), "inverted key range");
         r
     }
 
@@ -61,8 +58,7 @@ impl KeyRange {
 
     /// Returns `true` when `key` falls inside the range.
     pub fn contains(&self, key: &[u8]) -> bool {
-        key >= self.start.as_ref()
-            && self.end.as_ref().map_or(true, |e| key < e.as_ref())
+        key >= self.start.as_ref() && self.end.as_ref().is_none_or(|e| key < e.as_ref())
     }
 
     /// Whether this range and `other` share any key.
@@ -80,7 +76,8 @@ impl KeyRange {
 
     /// The intersection of two ranges (may be empty).
     pub fn intersect(&self, other: &KeyRange) -> KeyRange {
-        let start = if self.start >= other.start { self.start.clone() } else { other.start.clone() };
+        let start =
+            if self.start >= other.start { self.start.clone() } else { other.start.clone() };
         let end = match (&self.end, &other.end) {
             (Some(a), Some(b)) => Some(if a <= b { a.clone() } else { b.clone() }),
             (Some(a), None) => Some(a.clone()),
@@ -103,7 +100,9 @@ impl KeyRange {
     /// Returns `true` when the range cannot contain any key.
     pub fn is_empty(&self) -> bool {
         match &self.end {
-            Some(e) => e.as_ref() <= self.start.as_ref() && !(e.is_empty() && self.start.is_empty()),
+            Some(e) => {
+                e.as_ref() <= self.start.as_ref() && !(e.is_empty() && self.start.is_empty())
+            }
             None => false,
         }
     }

@@ -109,8 +109,7 @@ impl Wal {
             if pos + 8 > buf.len() {
                 break; // torn length/crc header
             }
-            let len =
-                u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
             let body_start = pos + 8;
             let body_end = match body_start.checked_add(len) {

@@ -31,10 +31,7 @@ fn concurrent_writers_disjoint_keyspaces() {
     .unwrap();
     assert_eq!(store.scan(KeyRange::all()).unwrap().len(), 8_000);
     for t in 0..4u32 {
-        let n = store
-            .scan(KeyRange::prefix(format!("w{t}-").into_bytes()))
-            .unwrap()
-            .len();
+        let n = store.scan(KeyRange::prefix(format!("w{t}-").into_bytes())).unwrap().len();
         assert_eq!(n, 2_000, "writer {t} lost rows");
     }
 }
@@ -48,9 +45,7 @@ fn readers_race_writers_without_tearing() {
         s.spawn(|_| {
             for round in 0..200u32 {
                 for k in 0..50u32 {
-                    store
-                        .put(format!("key-{k:03}"), format!("{round:06}"))
-                        .expect("put");
+                    store.put(format!("key-{k:03}"), format!("{round:06}")).expect("put");
                 }
                 if round % 20 == 0 {
                     store.flush().expect("flush");
@@ -89,7 +84,7 @@ fn cluster_parallel_scans_under_write_load() {
     let cluster = Cluster::open(ClusterOptions {
         shards: 4,
         store: StoreOptions { memtable_bytes: 4 << 10, ..StoreOptions::in_memory() },
-        parallel_scans: true,
+        ..ClusterOptions::default()
     })
     .unwrap();
     crossbeam::thread::scope(|s| {

@@ -20,9 +20,7 @@ fn build_disk_store(tag: &str) -> std::path::PathBuf {
     })
     .expect("open");
     for i in 0..500u32 {
-        store
-            .put(format!("key-{i:06}"), format!("value-{i:06}"))
-            .expect("put");
+        store.put(format!("key-{i:06}"), format!("value-{i:06}")).expect("put");
     }
     store.flush().expect("flush");
     drop(store);

@@ -1,0 +1,42 @@
+//! Observability for TraSS: metrics, latency histograms, stage spans, and
+//! exporters — with zero external dependencies.
+//!
+//! The paper's headline claims are I/O reduction and latency (Figs. 9–11,
+//! 13, 18); operating the system at production scale additionally needs
+//! per-stage latency *distributions* and store-level health counters, not
+//! just cumulative totals. This crate provides that layer, shared by every
+//! level of the stack:
+//!
+//! * [`Histogram`] — a log-bucketed (HDR-style) concurrent histogram with
+//!   `record` / `merge` / percentile queries (p50/p90/p99/p999) under
+//!   relaxed atomics. The *same* implementation backs production metrics
+//!   and the benchmark harness's tail-latency numbers (Fig. 18), so the
+//!   two can never disagree.
+//! * [`Registry`] — named counters, gauges, and histograms with label
+//!   support (`shard`, `stage`, `measure`, …).
+//! * [`Span`] — an RAII timer feeding per-stage histograms
+//!   (`trass_query_stage_seconds{stage="scan"}`), wired through the query
+//!   pipeline and the KV store's maintenance paths.
+//! * Exporters — Prometheus text format ([`Registry::render_prometheus`])
+//!   and JSON ([`Registry::render_json`] / [`Registry::snapshot`]).
+//! * [`SlowLog`] — a fixed-capacity top-N-by-latency query log.
+//!
+//! Metric name conventions: `trass_query_*` (query pipeline),
+//! `trass_kv_*` (store internals), `trass_ingest_*` (write path);
+//! duration histograms end in `_seconds` and record nanoseconds internally
+//! (scaled at export).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod slowlog;
+pub mod span;
+
+pub use export::{MetricSnapshot, MetricValue};
+pub use histogram::{Histogram, Percentiles};
+pub use registry::{Counter, Gauge, Registry};
+pub use slowlog::SlowLog;
+pub use span::{Span, STAGE_HISTOGRAM};

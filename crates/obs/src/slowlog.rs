@@ -1,0 +1,121 @@
+//! Fixed-capacity slow-query log.
+//!
+//! Keeps the top-N slowest items seen so far, ranked by a `u64` cost key
+//! (total query nanoseconds in practice), each with an attached payload
+//! (the query's full stats). Recording is O(capacity) under a mutex —
+//! negligible next to the millisecond-scale queries worth logging.
+
+use std::sync::Mutex;
+
+/// A bounded keep-the-worst log.
+pub struct SlowLog<T> {
+    entries: Mutex<Vec<(u64, T)>>,
+    capacity: usize,
+}
+
+impl<T: Clone> SlowLog<T> {
+    /// Creates a log keeping the `capacity` largest-key items.
+    pub fn new(capacity: usize) -> Self {
+        SlowLog { entries: Mutex::new(Vec::new()), capacity: capacity.max(1) }
+    }
+
+    /// Offers an item; it is kept iff it ranks among the top `capacity`
+    /// keys seen so far.
+    pub fn record(&self, key: u64, item: T) {
+        let mut entries = self.entries.lock().expect("slowlog poisoned");
+        if entries.len() < self.capacity {
+            entries.push((key, item));
+            return;
+        }
+        // Replace the current minimum if this item beats it.
+        let (min_idx, min_key) = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (i, *k))
+            .min_by_key(|&(_, k)| k)
+            .expect("capacity >= 1");
+        if key > min_key {
+            entries[min_idx] = (key, item);
+        }
+    }
+
+    /// The retained items, slowest first.
+    pub fn snapshot(&self) -> Vec<(u64, T)> {
+        let mut out = self.entries.lock().expect("slowlog poisoned").clone();
+        out.sort_by_key(|e| std::cmp::Reverse(e.0));
+        out
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slowlog poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.entries.lock().expect("slowlog poisoned").clear();
+    }
+}
+
+impl<T> std::fmt::Debug for SlowLog<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowLog")
+            .field("len", &self.entries.lock().expect("slowlog poisoned").len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_top_n() {
+        let log = SlowLog::new(3);
+        for k in [5u64, 1, 9, 3, 7, 2] {
+            log.record(k, format!("q{k}"));
+        }
+        let snap = log.snapshot();
+        let keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![9, 7, 5]);
+        assert_eq!(snap[0].1, "q9");
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything() {
+        let log = SlowLog::new(10);
+        log.record(1, ());
+        log.record(2, ());
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn ties_do_not_evict() {
+        let log = SlowLog::new(1);
+        log.record(5, "first");
+        log.record(5, "second");
+        assert_eq!(log.snapshot()[0].1, "first");
+        log.record(6, "third");
+        assert_eq!(log.snapshot()[0].1, "third");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let log = SlowLog::new(2);
+        log.record(1, ());
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! RAII stage timers.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! drop (or explicit [`Span::finish`]) and records it into a duration
+//! histogram. The query pipeline wraps each stage — pruning, scan, local
+//! filter, refine — in a span feeding
+//! `trass_query_stage_seconds{stage="..."}`.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Histogram family fed by [`Span::enter`].
+pub const STAGE_HISTOGRAM: &str = "trass_query_stage_seconds";
+
+/// An RAII timer recording into a histogram when it ends.
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Starts a span over the standard per-stage histogram
+    /// (`trass_query_stage_seconds{stage="<stage>"}`).
+    pub fn enter(registry: &Registry, stage: &str) -> Span {
+        Span::on(registry.timer(STAGE_HISTOGRAM, &[("stage", stage)]))
+    }
+
+    /// Starts a span over the standard per-stage histogram with extra
+    /// labels (e.g. `("query", "threshold")`).
+    pub fn enter_with(registry: &Registry, stage: &str, extra: &[(&str, &str)]) -> Span {
+        let mut labels: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+        labels.push(("stage", stage));
+        labels.extend_from_slice(extra);
+        Span::on(registry.timer(STAGE_HISTOGRAM, &labels))
+    }
+
+    /// Starts a span recording into an explicit histogram (which should
+    /// have nanosecond→second scale, as [`Registry::timer`] creates).
+    pub fn on(hist: Arc<Histogram>) -> Span {
+        Span { hist, start: Instant::now(), armed: true }
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span, records the elapsed time, and returns it — for call
+    /// sites that also feed per-query stats.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.record_duration(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Abandons the span without recording (e.g. on an error path that
+    /// should not pollute latency distributions).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("elapsed", &self.elapsed()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let r = Registry::new();
+        {
+            let _span = Span::enter(&r, "scan");
+        }
+        let h = r.timer(STAGE_HISTOGRAM, &[("stage", "scan")]);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_and_returns_elapsed() {
+        let r = Registry::new();
+        let span = Span::enter(&r, "refine");
+        let d = span.finish();
+        let h = r.timer(STAGE_HISTOGRAM, &[("stage", "refine")]);
+        assert_eq!(h.count(), 1, "finish must not double-record with drop");
+        assert!(h.max() as u128 >= d.as_nanos() / 2);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let r = Registry::new();
+        Span::enter(&r, "scan").cancel();
+        assert_eq!(r.timer(STAGE_HISTOGRAM, &[("stage", "scan")]).count(), 0);
+    }
+
+    #[test]
+    fn enter_with_extra_labels() {
+        let r = Registry::new();
+        Span::enter_with(&r, "scan", &[("query", "threshold")]).finish();
+        let h = r.timer(STAGE_HISTOGRAM, &[("stage", "scan"), ("query", "threshold")]);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Multi-threaded hammering of `Histogram` and `Registry`: exact total
+//! counts and monotone percentiles must survive concurrent recording.
+
+use std::sync::Arc;
+use trass_obs::{Histogram, Registry, Span};
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 20_000;
+
+#[test]
+fn histogram_counts_are_exact_under_contention() {
+    let h = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix of magnitudes, deterministic per thread.
+                    h.record((i * 31 + t as u64) % 1_000_000);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    // Bucket contents must sum to the same total.
+    let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, h.count());
+    // Percentiles are monotone and bounded by observed extremes.
+    let mut last = 0;
+    for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        let v = h.value_at_quantile(q);
+        assert!(v >= last, "quantile regressed at q={q}");
+        assert!(v <= h.max());
+        last = v;
+    }
+    assert_eq!(h.value_at_quantile(1.0), h.max());
+}
+
+#[test]
+fn registry_handles_are_shared_across_threads() {
+    let r = Arc::new(Registry::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                let shard = (t % 4).to_string();
+                let c = r.counter("hits", &[("shard", &shard)]);
+                let h = r.timer("op_seconds", &[("shard", &shard)]);
+                let g = r.gauge("depth", &[]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(i + 1);
+                    g.add(1);
+                    g.add(-1);
+                }
+            });
+        }
+    });
+    let total: u64 = (0..4).map(|s| r.counter("hits", &[("shard", &s.to_string())]).get()).sum();
+    assert_eq!(total, THREADS as u64 * PER_THREAD);
+    let recorded: u64 =
+        (0..4).map(|s| r.timer("op_seconds", &[("shard", &s.to_string())]).count()).sum();
+    assert_eq!(recorded, THREADS as u64 * PER_THREAD);
+    assert_eq!(r.gauge("depth", &[]).get(), 0);
+    // 4 hit counters + 4 timers + 1 gauge.
+    assert_eq!(r.len(), 9);
+}
+
+#[test]
+fn concurrent_merge_preserves_totals() {
+    let target = Arc::new(Histogram::new());
+    let sources: Vec<Arc<Histogram>> = (0..THREADS)
+        .map(|t| {
+            let h = Histogram::new();
+            for i in 0..PER_THREAD {
+                h.record(i * (t as u64 + 1));
+            }
+            Arc::new(h)
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for src in &sources {
+            let target = Arc::clone(&target);
+            let src = Arc::clone(src);
+            s.spawn(move || target.merge(&src));
+        }
+    });
+    assert_eq!(target.count(), THREADS as u64 * PER_THREAD);
+    let expected_sum: u64 = sources.iter().map(|h| h.sum()).sum();
+    assert_eq!(target.sum(), expected_sum);
+}
+
+#[test]
+fn spans_record_under_contention() {
+    let r = Arc::new(Registry::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    let span = Span::enter(&r, "scan");
+                    span.finish();
+                }
+            });
+        }
+    });
+    let h = r.timer(trass_obs::STAGE_HISTOGRAM, &[("stage", "scan")]);
+    assert_eq!(h.count(), THREADS as u64 * 500);
+}

@@ -28,7 +28,9 @@ pub enum CodecError {
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated { context } => write!(f, "truncated value while decoding {context}"),
+            CodecError::Truncated { context } => {
+                write!(f, "truncated value while decoding {context}")
+            }
             CodecError::Corrupt { context } => write!(f, "corrupt value while decoding {context}"),
         }
     }
@@ -179,9 +181,7 @@ mod tests {
     use crate::Trajectory;
 
     fn sample_points() -> Vec<Point> {
-        (0..20)
-            .map(|i| Point::new(i as f64 * 0.5, ((i * 7) % 5) as f64 - 2.0))
-            .collect()
+        (0..20).map(|i| Point::new(i as f64 * 0.5, ((i * 7) % 5) as f64 - 2.0)).collect()
     }
 
     #[test]
@@ -240,10 +240,7 @@ mod tests {
         let f = DpFeatures::extract(&traj, 0.5);
         let enc = encode_features(&f);
         // Decoding against a shorter point column invalidates indices.
-        assert!(matches!(
-            decode_features(&enc, &pts[..1]),
-            Err(CodecError::Corrupt { .. })
-        ));
+        assert!(matches!(decode_features(&enc, &pts[..1]), Err(CodecError::Corrupt { .. })));
     }
 
     #[test]

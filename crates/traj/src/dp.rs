@@ -76,10 +76,7 @@ impl DpFeatures {
         if self.boxes.is_empty() {
             return self.rep_points[0].distance(p);
         }
-        self.boxes
-            .iter()
-            .map(|b| b.distance_to_point(p))
-            .fold(f64::INFINITY, f64::min)
+        self.boxes.iter().map(|b| b.distance_to_point(p)).fold(f64::INFINITY, f64::min)
     }
 
     /// Minimum distance from a segment to the covering-box union.
@@ -87,19 +84,14 @@ impl DpFeatures {
         if self.boxes.is_empty() {
             return seg.distance_to_point(&self.rep_points[0]);
         }
-        self.boxes
-            .iter()
-            .map(|b| b.distance_to_segment(seg))
-            .fold(f64::INFINITY, f64::min)
+        self.boxes.iter().map(|b| b.distance_to_segment(seg)).fold(f64::INFINITY, f64::min)
     }
 
     /// Lemma 13 test: returns `false` when some representative point of
     /// `self` is farther than `eps` from `other`'s box union (which proves
     /// `f(self, other) > eps`).
     pub fn rep_points_within(&self, other: &DpFeatures, eps: f64) -> bool {
-        self.rep_points
-            .iter()
-            .all(|p| other.min_distance_from_point(p) <= eps)
+        self.rep_points.iter().all(|p| other.min_distance_from_point(p) <= eps)
     }
 
     /// Lemma 14 test: for each covering box of `self`, every edge of the box
@@ -108,10 +100,7 @@ impl DpFeatures {
     /// similarity. Returns `false` when violated.
     pub fn boxes_within(&self, other: &DpFeatures, eps: f64) -> bool {
         self.boxes.iter().all(|b| {
-            b.edges()
-                .iter()
-                .map(|e| other.min_distance_from_segment(e))
-                .fold(0.0f64, f64::max)
+            b.edges().iter().map(|e| other.min_distance_from_segment(e)).fold(0.0f64, f64::max)
                 <= eps
         })
     }
@@ -169,10 +158,7 @@ pub fn douglas_peucker(points: &[Point], theta: f64) -> Vec<u32> {
             stack.push((best_idx, hi));
         }
     }
-    keep.iter()
-        .enumerate()
-        .filter_map(|(i, &k)| k.then_some(i as u32))
-        .collect()
+    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i as u32)).collect()
 }
 
 #[cfg(test)]
@@ -209,25 +195,25 @@ mod tests {
     #[test]
     fn single_and_two_point_inputs() {
         assert_eq!(douglas_peucker(&[Point::new(0.0, 0.0)], 0.1), vec![0]);
-        assert_eq!(
-            douglas_peucker(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)], 0.1),
-            vec![0, 1]
-        );
+        assert_eq!(douglas_peucker(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)], 0.1), vec![0, 1]);
     }
 
     #[test]
     fn features_cover_all_raw_points() {
         let t = traj(&[
-            (0.0, 0.0), (1.0, 0.2), (2.0, -0.1), (3.0, 0.5), (4.0, 2.0),
-            (5.0, 2.2), (6.0, 1.8), (7.0, 0.0),
+            (0.0, 0.0),
+            (1.0, 0.2),
+            (2.0, -0.1),
+            (3.0, 0.5),
+            (4.0, 2.0),
+            (5.0, 2.2),
+            (6.0, 1.8),
+            (7.0, 0.0),
         ]);
         let f = DpFeatures::extract(&t, 0.3);
         assert_eq!(f.boxes.len(), f.rep_indices.len() - 1);
         for p in t.points() {
-            assert!(
-                f.min_distance_from_point(p) < 1e-9,
-                "point {p} not covered by boxes"
-            );
+            assert!(f.min_distance_from_point(p) < 1e-9, "point {p} not covered by boxes");
         }
     }
 

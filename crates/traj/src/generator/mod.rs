@@ -113,8 +113,7 @@ pub fn lorry_like(seed: u64, n: usize) -> Vec<Trajectory> {
 pub fn lorry_dataset(seed: u64, n: usize, cfg: &LorryConfig) -> Vec<Trajectory> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Fixed hub locations drawn once from the extent.
-    let hubs: Vec<Point> =
-        (0..cfg.hubs).map(|_| random_point_in(&mut rng, &cfg.extent)).collect();
+    let hubs: Vec<Point> = (0..cfg.hubs).map(|_| random_point_in(&mut rng, &cfg.extent)).collect();
     (0..n as u64)
         .map(|id| {
             let a = hubs[rng.gen_range(0..hubs.len())];
@@ -142,21 +141,77 @@ fn route_trajectory(
 ) -> Trajectory {
     let len = len.max(2);
     // Smooth detour: one mid-route control offset, blended by a parabola.
-    let detour = Point::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
-        * (a.distance(&b) * 0.08);
+    let detour =
+        Point::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)) * (a.distance(&b) * 0.08);
     let points = (0..len)
         .map(|i| {
             let t = i as f64 / (len - 1) as f64;
             let base = a.lerp(&b, t);
             let bend = detour * (4.0 * t * (1.0 - t));
-            let noise = Point::new(
-                rng.gen_range(-jitter..=jitter),
-                rng.gen_range(-jitter..=jitter),
-            );
+            let noise =
+                Point::new(rng.gen_range(-jitter..=jitter), rng.gen_range(-jitter..=jitter));
             clamp_to(base + bend + noise, extent)
         })
         .collect();
     Trajectory::new(id, points)
+}
+
+/// Configuration of a Gaussian-clustered workload.
+#[derive(Debug, Clone)]
+pub struct GaussianConfig {
+    /// Spatial extent (origins are clamped into it).
+    pub extent: Mbr,
+    /// Standard deviation of the origin cluster as a fraction of the
+    /// extent's smaller side.
+    pub sigma_fraction: f64,
+    /// Log-normal parameters (mu, sigma) of the trip extent in degrees.
+    pub span_lognormal: (f64, f64),
+    /// Minimum and maximum points per trajectory.
+    pub points_range: (usize, usize),
+}
+
+impl Default for GaussianConfig {
+    fn default() -> Self {
+        GaussianConfig {
+            extent: BEIJING,
+            sigma_fraction: 0.12,
+            span_lognormal: (-3.9, 0.9),
+            points_range: (20, 200),
+        }
+    }
+}
+
+/// Generates `n` trajectories whose origins cluster under a 2-D Gaussian
+/// centred on the extent — the skewed "hotspot" workload observability
+/// demos and load tests use. Dense centre, sparse fringe: per-shard and
+/// per-stage metrics show real variance instead of the uniform generators'
+/// flat profile.
+pub fn gaussian_like(seed: u64, n: usize) -> Vec<Trajectory> {
+    gaussian_dataset(seed, n, &GaussianConfig::default())
+}
+
+/// Generates `n` Gaussian-clustered trajectories under an explicit
+/// configuration.
+pub fn gaussian_dataset(seed: u64, n: usize, cfg: &GaussianConfig) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span_dist = LogNormal::new(cfg.span_lognormal.0, cfg.span_lognormal.1)
+        .expect("valid log-normal parameters");
+    let cx = (cfg.extent.min_x + cfg.extent.max_x) * 0.5;
+    let cy = (cfg.extent.min_y + cfg.extent.max_y) * 0.5;
+    let sigma = cfg.extent.width().min(cfg.extent.height()) * cfg.sigma_fraction;
+    let origin_dist = rand_distr::Normal::new(0.0, sigma).expect("positive sigma");
+    let max_span = (cfg.extent.width().min(cfg.extent.height())) * 0.9;
+    (0..n as u64)
+        .map(|id| {
+            let origin = clamp_to(
+                Point::new(cx + origin_dist.sample(&mut rng), cy + origin_dist.sample(&mut rng)),
+                &cfg.extent,
+            );
+            let span = span_dist.sample(&mut rng).clamp(0.002, max_span);
+            let len = rng.gen_range(cfg.points_range.0..=cfg.points_range.1);
+            random_walk(&mut rng, id, origin, span, len, &cfg.extent)
+        })
+        .collect()
 }
 
 /// Replicates a dataset `t` times with spatial jitter and fresh ids — the
@@ -192,9 +247,7 @@ pub fn scale_dataset(base: &[Trajectory], t: usize, seed: u64, extent: &Mbr) -> 
 /// 400 query trajectories per dataset).
 pub fn sample_queries(dataset: &[Trajectory], k: usize, seed: u64) -> Vec<Trajectory> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..k)
-        .map(|_| dataset[rng.gen_range(0..dataset.len())].clone())
-        .collect()
+    (0..k).map(|_| dataset[rng.gen_range(0..dataset.len())].clone()).collect()
 }
 
 fn random_point_in(rng: &mut StdRng, extent: &Mbr) -> Point {
@@ -247,8 +300,7 @@ mod tests {
     #[test]
     fn tdrive_spans_are_heavy_tailed() {
         let data = tdrive_like(3, 1000);
-        let spans: Vec<f64> =
-            data.iter().map(|t| t.mbr().width().max(t.mbr().height())).collect();
+        let spans: Vec<f64> = data.iter().map(|t| t.mbr().width().max(t.mbr().height())).collect();
         let small = spans.iter().filter(|&&s| s < 0.05).count();
         let large = spans.iter().filter(|&&s| s > 0.2).count();
         assert!(small > 400, "small = {small}");
@@ -261,12 +313,32 @@ mod tests {
         for t in &data {
             assert!(CHINA.contains(&t.mbr()));
         }
-        let avg_span: f64 = data
-            .iter()
-            .map(|t| t.mbr().width().max(t.mbr().height()))
-            .sum::<f64>()
+        let avg_span: f64 = data.iter().map(|t| t.mbr().width().max(t.mbr().height())).sum::<f64>()
             / data.len() as f64;
         assert!(avg_span > 3.0, "avg span {avg_span} too small for lorries");
+    }
+
+    #[test]
+    fn gaussian_like_clusters_around_the_centre() {
+        let data = gaussian_like(42, 400);
+        assert_eq!(data, gaussian_like(42, 400), "not deterministic");
+        let cx = (BEIJING.min_x + BEIJING.max_x) * 0.5;
+        let cy = (BEIJING.min_y + BEIJING.max_y) * 0.5;
+        let half_w = BEIJING.width() * 0.25;
+        let half_h = BEIJING.height() * 0.25;
+        let central = data
+            .iter()
+            .filter(|t| {
+                let p = t.points()[0];
+                (p.x - cx).abs() < half_w && (p.y - cy).abs() < half_h
+            })
+            .count();
+        // A uniform workload would put ~25% of origins in the central
+        // quarter-area window; the Gaussian concentrates well over half.
+        assert!(central > 200, "only {central}/400 origins are central");
+        for t in &data {
+            assert!(BEIJING.contains(&t.mbr()), "trajectory {} escaped", t.id);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub fn within(a: &[Point], b: &[Point], eps: f64) -> bool {
 
 /// Shared kernel: computes DTW, returning `f64::INFINITY` early when every
 /// partial path already exceeds `cutoff`.
+#[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
 fn dtw_impl(a: &[Point], b: &[Point], cutoff: f64) -> f64 {
     let (n, m) = (a.len(), b.len());
     let mut prev = vec![f64::INFINITY; m];
@@ -56,6 +57,7 @@ fn dtw_impl(a: &[Point], b: &[Point], cutoff: f64) -> f64 {
 /// DTW constrained to a Sakoe-Chiba band of half-width `band` (in matrix
 /// cells). `band >= max(n, m)` is equivalent to unconstrained DTW. Useful as
 /// a cheaper upper-bound kernel for long trajectories.
+#[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
 pub fn distance_banded(a: &[Point], b: &[Point], band: usize) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "DTW distance of empty sequence");
     let (n, m) = (a.len(), b.len());

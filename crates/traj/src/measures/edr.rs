@@ -27,9 +27,7 @@ pub fn distance(a: &[Point], b: &[Point], tau: f64) -> usize {
         curr[0] = i;
         for j in 1..=m {
             let subcost = usize::from(a[i - 1].distance_sq(&b[j - 1]) > tau_sq);
-            curr[j] = (prev[j] + 1)
-                .min(curr[j - 1] + 1)
-                .min(prev[j - 1] + subcost);
+            curr[j] = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + subcost);
         }
         std::mem::swap(&mut prev, &mut curr);
     }

@@ -11,6 +11,7 @@ use trass_geo::Point;
 ///
 /// # Panics
 /// Panics if either sequence is empty.
+#[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
 pub fn distance(a: &[Point], b: &[Point]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "Fréchet distance of empty sequence");
     let (n, m) = (a.len(), b.len());
@@ -38,6 +39,7 @@ pub fn distance(a: &[Point], b: &[Point]) -> f64 {
 ///
 /// # Panics
 /// Panics if either sequence is empty.
+#[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
 pub fn within(a: &[Point], b: &[Point], eps: f64) -> bool {
     assert!(!a.is_empty() && !b.is_empty(), "Fréchet decision of empty sequence");
     if eps < 0.0 {

@@ -25,9 +25,10 @@ use std::str::FromStr;
 use trass_geo::Point;
 
 /// The similarity measure used by a query (§II + §VII).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Measure {
     /// Discrete Fréchet distance (default).
+    #[default]
     Frechet,
     /// Symmetric Hausdorff distance.
     Hausdorff,
@@ -73,12 +74,6 @@ impl Measure {
     /// future measure without the property fails safe.
     pub fn supports_point_lower_bound(&self) -> bool {
         true
-    }
-}
-
-impl Default for Measure {
-    fn default() -> Self {
-        Measure::Frechet
     }
 }
 

@@ -88,11 +88,7 @@ impl Trajectory {
     /// Minimum Euclidean distance from `p` to the trajectory's *point set*
     /// (the paper's `d(t, T)` of Lemma 5 — point set, not polyline).
     pub fn min_distance_from_point(&self, p: &Point) -> f64 {
-        self.points
-            .iter()
-            .map(|q| q.distance_sq(p))
-            .fold(f64::INFINITY, f64::min)
-            .sqrt()
+        self.points.iter().map(|q| q.distance_sq(p)).fold(f64::INFINITY, f64::min).sqrt()
     }
 
     /// Consumes the trajectory and returns its points.

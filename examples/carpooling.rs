@@ -12,7 +12,7 @@
 //! ```
 
 use std::collections::HashSet;
-use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::core::{query, TrajectoryStore, TrassConfig};
 use trass::geo::Point;
 use trass::traj::generator::BEIJING;
 use trass::traj::{Measure, Trajectory};
@@ -63,8 +63,8 @@ fn main() {
         if assigned.contains(&trip.id) {
             continue;
         }
-        let hits = query::threshold_search(&store, trip, eps, Measure::Frechet)
-            .expect("threshold search");
+        let hits =
+            query::threshold_search(&store, trip, eps, Measure::Frechet).expect("threshold search");
         let members: Vec<u64> = hits
             .results
             .iter()
@@ -87,11 +87,6 @@ fn main() {
     assert_eq!(total, trips.len(), "every trip pooled exactly once");
     // Corridors are well-separated relative to eps, so the pool count
     // should equal the corridor count.
-    assert_eq!(
-        pools.len(),
-        n_routes,
-        "expected one pool per corridor (got {})",
-        pools.len()
-    );
+    assert_eq!(pools.len(), n_routes, "expected one pool per corridor (got {})", pools.len());
     println!("pooling matches the {n_routes} planted corridors ✔");
 }

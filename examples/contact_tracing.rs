@@ -11,7 +11,7 @@
 //! cargo run --release --example contact_tracing
 //! ```
 
-use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::core::{query, TrajectoryStore, TrassConfig};
 use trass::geo::Point;
 use trass::traj::generator::{self, BEIJING};
 use trass::traj::{Measure, Trajectory};
@@ -50,8 +50,7 @@ fn main() {
 
     // Contacts are within eps of the patient's path.
     let eps = 0.005; // ~500 m in degrees
-    let hits =
-        query::threshold_search(&store, &patient, eps, Measure::Frechet).expect("search");
+    let hits = query::threshold_search(&store, &patient, eps, Measure::Frechet).expect("search");
 
     println!(
         "close-contact search: {} hits, {} rows scanned of {} stored ({:.2}%)",
@@ -62,15 +61,15 @@ fn main() {
     );
     for (tid, dist) in &hits.results {
         let planted = contact_ids.contains(tid);
-        println!("  trajectory {tid}: distance {dist:.5}° {}", if planted { "(planted contact)" } else { "" });
+        println!(
+            "  trajectory {tid}: distance {dist:.5}° {}",
+            if planted { "(planted contact)" } else { "" }
+        );
     }
 
     // Every planted contact is recovered.
     for id in &contact_ids {
-        assert!(
-            hits.results.iter().any(|(tid, _)| tid == id),
-            "planted contact {id} missed"
-        );
+        assert!(hits.results.iter().any(|(tid, _)| tid == id), "planted contact {id} missed");
     }
     // And the search was selective: it touched a small fraction of the
     // store (this is the point of XZ* + global pruning).

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::core::{query, TrajectoryStore, TrassConfig};
 use trass::geo::Point;
 use trass::traj::{Measure, Trajectory};
 

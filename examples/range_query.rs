@@ -9,7 +9,7 @@
 //! cargo run --release --example range_query
 //! ```
 
-use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::core::{query, TrajectoryStore, TrassConfig};
 use trass::geo::Mbr;
 use trass::traj::generator::{self, BEIJING};
 
@@ -24,7 +24,10 @@ fn main() {
     let hits = query::range_search(&store, &district).expect("range query");
     println!(
         "range query over [{}, {}] × [{}, {}]: {} trajectories pass through",
-        district.min_x, district.max_x, district.min_y, district.max_y,
+        district.min_x,
+        district.max_x,
+        district.min_y,
+        district.max_y,
         hits.results.len()
     );
     println!(

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::core::{query, TrajectoryStore, TrassConfig};
 use trass::geo::{Mbr, NormalizedSpace};
 use trass::kv::StoreOptions;
 use trass::traj::{io as traj_io, Measure};
@@ -142,11 +142,7 @@ fn parse_mbr(spec: &str) -> Result<Mbr, String> {
 }
 
 fn parse_measure(flags: &HashMap<String, String>) -> Result<Measure, String> {
-    flags
-        .get("measure")
-        .map(|m| m.parse::<Measure>())
-        .transpose()?
-        .map_or(Ok(Measure::Frechet), Ok)
+    flags.get("measure").map(|m| m.parse::<Measure>()).transpose()?.map_or(Ok(Measure::Frechet), Ok)
 }
 
 fn load(dir: &Path, flags: &HashMap<String, String>) -> Result<(), String> {
@@ -204,10 +200,7 @@ fn query_trajectory(
         .ok_or("--query <tid> is required")?
         .parse()
         .map_err(|_| "bad --query id")?;
-    store
-        .get(tid)
-        .map_err(|e| e.to_string())?
-        .ok_or(format!("trajectory {tid} not found"))
+    store.get(tid).map_err(|e| e.to_string())?.ok_or(format!("trajectory {tid} not found"))
 }
 
 fn sim(store: &TrajectoryStore, flags: &HashMap<String, String>) -> Result<(), String> {

@@ -37,11 +37,13 @@ fn cli_full_workflow() {
     drop(csv);
 
     // load
-    let out = run_ok(&["load", "--data", deploy.to_str().unwrap(), "--csv", csv_path.to_str().unwrap()]);
+    let out =
+        run_ok(&["load", "--data", deploy.to_str().unwrap(), "--csv", csv_path.to_str().unwrap()]);
     assert!(out.contains("loaded 3 trajectories"), "{out}");
 
     // sim: trip 1 within 0.005° matches 1 and 2.
-    let out = run_ok(&["sim", "--data", deploy.to_str().unwrap(), "--query", "1", "--eps", "0.005"]);
+    let out =
+        run_ok(&["sim", "--data", deploy.to_str().unwrap(), "--query", "1", "--eps", "0.005"]);
     assert!(out.contains("2 matches"), "{out}");
 
     // topk
@@ -49,10 +51,8 @@ fn cli_full_workflow() {
     assert!(out.contains("top-2"), "{out}");
 
     // range covering everything
-    let out = run_ok(&[
-        "range", "--data", deploy.to_str().unwrap(),
-        "--window", "116.0,39.5,117.0,40.5",
-    ]);
+    let out =
+        run_ok(&["range", "--data", deploy.to_str().unwrap(), "--window", "116.0,39.5,117.0,40.5"]);
     assert!(out.contains("3 trajectories"), "{out}");
 
     // get
@@ -64,16 +64,21 @@ fn cli_full_workflow() {
     assert!(out.contains("regions:"), "{out}");
 
     // Unknown trajectory fails cleanly.
-    let out = bin()
-        .args(["get", "--data", deploy.to_str().unwrap(), "--tid", "999"])
-        .output()
-        .unwrap();
+    let out =
+        bin().args(["get", "--data", deploy.to_str().unwrap(), "--tid", "999"]).output().unwrap();
     assert!(!out.status.success());
 
     // Hausdorff measure flag parses.
     let out = run_ok(&[
-        "sim", "--data", deploy.to_str().unwrap(),
-        "--query", "1", "--eps", "0.005", "--measure", "hausdorff",
+        "sim",
+        "--data",
+        deploy.to_str().unwrap(),
+        "--query",
+        "1",
+        "--eps",
+        "0.005",
+        "--measure",
+        "hausdorff",
     ]);
     assert!(out.contains("hausdorff"), "{out}");
 

@@ -8,7 +8,7 @@ use trass::baselines::dita::DitaEngine;
 use trass::baselines::repose::ReposeEngine;
 use trass::baselines::xz_kv::build_for_extent;
 use trass::baselines::SimilarityEngine;
-use trass::core::{query, TrassConfig, TrajectoryStore};
+use trass::core::{query, TrajectoryStore, TrassConfig};
 use trass::traj::generator::{self, BEIJING};
 use trass::traj::{Measure, Trajectory};
 
@@ -20,11 +20,8 @@ fn build_store(data: &[Trajectory]) -> TrajectoryStore {
 }
 
 fn brute_threshold(data: &[Trajectory], q: &Trajectory, eps: f64, m: Measure) -> Vec<u64> {
-    let mut ids: Vec<u64> = data
-        .iter()
-        .filter(|t| m.within(q.points(), t.points(), eps))
-        .map(|t| t.id)
-        .collect();
+    let mut ids: Vec<u64> =
+        data.iter().filter(|t| m.within(q.points(), t.points(), eps)).map(|t| t.id).collect();
     ids.sort_unstable();
     ids
 }
@@ -77,8 +74,7 @@ fn all_engines_agree_on_threshold_results() {
             ("DITA", dita.threshold(q, eps, Measure::Frechet)),
             ("JUST", just.threshold(q, eps, Measure::Frechet)),
         ] {
-            let ids: Vec<u64> =
-                got.unwrap().results.iter().map(|&(id, _)| id).collect();
+            let ids: Vec<u64> = got.unwrap().results.iter().map(|&(id, _)| id).collect();
             assert_eq!(ids, expected, "{name} disagrees");
         }
     }
@@ -95,10 +91,8 @@ fn all_engines_agree_on_topk_distances() {
     let q = &data[31];
     let k = 12;
 
-    let mut expected: Vec<f64> = data
-        .iter()
-        .map(|t| Measure::Frechet.distance(q.points(), t.points()))
-        .collect();
+    let mut expected: Vec<f64> =
+        data.iter().map(|t| Measure::Frechet.distance(q.points(), t.points())).collect();
     expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
     expected.truncate(k);
 
@@ -137,10 +131,7 @@ fn trass_scans_less_io_than_xz2_baseline() {
         trass_rows += r.stats.retrieved;
         just_rows += just.threshold(q, 0.005, Measure::Frechet).unwrap().retrieved;
     }
-    assert!(
-        trass_rows < just_rows,
-        "TraSS retrieved {trass_rows} rows, XZ2 {just_rows}"
-    );
+    assert!(trass_rows < just_rows, "TraSS retrieved {trass_rows} rows, XZ2 {just_rows}");
 }
 
 #[test]
@@ -148,8 +139,7 @@ fn lorry_scale_roundtrip() {
     // Country-scale extents exercise coarse resolutions.
     let data = generator::lorry_like(111, 200);
     let store = {
-        let store =
-            TrajectoryStore::open(TrassConfig::for_extent(generator::CHINA)).unwrap();
+        let store = TrajectoryStore::open(TrassConfig::for_extent(generator::CHINA)).unwrap();
         store.insert_all(&data).unwrap();
         store.flush().unwrap();
         store
