@@ -14,6 +14,7 @@
 //!   fig20   Hausdorff and DTW measures
 //!   io      theoretical 83.6 % + measured I/O reduction vs XZ-Ordering
 //!   obs     observability demo: Prometheus + JSON dump, slow-query log
+//!   explain EXPLAIN ANALYZE demo: per-query trace trees, text + JSON
 //!   all     everything, in order
 //! ```
 //!
@@ -25,7 +26,7 @@ use trass_bench::experiments;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: repro <fig9|fig10|fig11|fig12|fig13|fig14|fig17|fig18|fig19|fig20|io|ablation|obs|all>");
+        eprintln!("usage: repro <fig9|fig10|fig11|fig12|fig13|fig14|fig17|fig18|fig19|fig20|io|ablation|obs|explain|all>");
         std::process::exit(2);
     });
     match arg.as_str() {
@@ -42,6 +43,7 @@ fn main() {
         "io" => experiments::io_reduction::run(),
         "ablation" => experiments::ablation::run(),
         "obs" => experiments::obs_demo::run(),
+        "explain" => experiments::explain_demo::run(),
         "all" => experiments::run_all(),
         other => {
             eprintln!("unknown experiment: {other}");

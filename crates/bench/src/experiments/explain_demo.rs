@@ -1,0 +1,75 @@
+//! EXPLAIN ANALYZE demo — not a paper figure.
+//!
+//! Builds TraSS over a Gaussian hotspot workload and prints the full query
+//! trace for one threshold and one top-k search, in both renderings: the
+//! human-readable span tree (indentation + % of parent time) and the JSON
+//! document. This is the end-to-end check that the tracing pipeline — root
+//! span, per-stage children, per-shard `region-scan` spans, per-lemma
+//! pruning counters — survives a real workload, plus a peek at the flight
+//! recorder's view of traced background queries.
+
+use crate::datasets;
+use crate::harness;
+use trass_core::store::ExplainQuery;
+use trass_geo::Mbr;
+use trass_traj::Measure;
+
+/// Runs the demo.
+pub fn run() {
+    let ds = datasets::gaussian();
+    let (store, _build) = harness::build_trass(&ds, 16, 8);
+    let queries = datasets::queries(&ds, 2.max(datasets::n_queries()));
+    let q = &queries[0];
+
+    println!("\n== explain: threshold (eps=0.01, frechet) ==");
+    let explained = store
+        .explain(ExplainQuery::Threshold { query: q, eps: 0.01, measure: Measure::Frechet })
+        .expect("threshold explain");
+    println!("{}", explained.trace.render_text());
+
+    println!("== explain: top-k (k=10, frechet) ==");
+    let explained = store
+        .explain(ExplainQuery::TopK { query: q, k: 10, measure: Measure::Frechet })
+        .expect("topk explain");
+    println!("{}", explained.trace.render_text());
+
+    println!("== explain: range (query mbr, json rendering) ==");
+    let m = q.mbr();
+    let window = Mbr::new(m.min_x - 0.01, m.min_y - 0.01, m.max_x + 0.01, m.max_y + 0.01);
+    let explained = store.explain(ExplainQuery::Range { window }).expect("range explain");
+    println!("{}", explained.trace.render_json());
+
+    // Each explain call also lands in the flight recorder.
+    let flight = store.flight_recorder().snapshot();
+    println!("\nflight recorder: {} trace(s) retained", flight.len());
+    for t in &flight {
+        println!("  {} ({} spans)", t.root.name, t.root.span_count());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use trass_traj::generator;
+
+    #[test]
+    fn demo_traces_render_both_ways() {
+        let ds = Dataset {
+            name: "Gaussian",
+            data: generator::gaussian_like(45, 120),
+            extent: generator::BEIJING,
+        };
+        let (store, _build) = harness::build_trass(&ds, 16, 4);
+        let q = &ds.data[0];
+        let explained = store
+            .explain(ExplainQuery::Threshold { query: q, eps: 0.01, measure: Measure::Frechet })
+            .unwrap();
+        let text = explained.trace.render_text();
+        assert!(text.contains("threshold"));
+        assert!(text.contains("pruning"));
+        let json = explained.trace.render_json();
+        let back = trass_obs::QueryTrace::from_json(&json).unwrap();
+        assert_eq!(back.render_json(), json);
+    }
+}

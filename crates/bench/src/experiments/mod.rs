@@ -2,6 +2,7 @@
 //! and appends JSONL rows under `results/`.
 
 pub mod ablation;
+pub mod explain_demo;
 pub mod fig09_threshold;
 pub mod fig10_topk;
 pub mod fig11_pruning;
@@ -30,4 +31,5 @@ pub fn run_all() {
     io_reduction::run();
     ablation::run();
     obs_demo::run();
+    explain_demo::run();
 }

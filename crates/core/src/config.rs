@@ -30,6 +30,10 @@ pub struct TrassConfig {
     /// Ablation: push local filtering (Lemmas 12–14) into scans. Off makes
     /// every retrieved row a refinement candidate.
     pub use_local_filter: bool,
+    /// Trace one query in N (deterministic counter; queries 1, N+1, 2N+1,
+    /// … record full span trees into the flight recorder). `0` disables
+    /// sampling entirely; `explain` always traces regardless.
+    pub trace_sample_every: u64,
 }
 
 impl Default for TrassConfig {
@@ -45,6 +49,7 @@ impl Default for TrassConfig {
             use_position_codes: true,
             use_min_dist: true,
             use_local_filter: true,
+            trace_sample_every: 64,
         }
     }
 }
@@ -91,17 +96,13 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = TrassConfig::default();
-        c.max_resolution = 0;
+        let c = TrassConfig { max_resolution: 0, ..TrassConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = TrassConfig::default();
-        c.shards = 0;
+        let c = TrassConfig { shards: 0, ..TrassConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = TrassConfig::default();
-        c.space = trass_geo::WORLD; // not square
+        let c = TrassConfig { space: trass_geo::WORLD, ..TrassConfig::default() }; // not square
         assert!(c.validate().is_err());
-        let mut c = TrassConfig::default();
-        c.dp_theta = f64::NAN;
+        let c = TrassConfig { dp_theta: f64::NAN, ..TrassConfig::default() };
         assert!(c.validate().is_err());
     }
 

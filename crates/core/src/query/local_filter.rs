@@ -42,14 +42,40 @@ impl QuerySide {
     }
 }
 
+/// Which check rejected a row (or none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Pass,
+    Lemma12,
+    Lemma13,
+    Lemma14,
+}
+
+/// Per-lemma reject counts, snapshotted after a scan for traces and
+/// ablation reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterRejects {
+    /// Rows rejected by the lemma 12 endpoint test.
+    pub lemma12: u64,
+    /// Rows rejected by the lemma 13 representative-point bound.
+    pub lemma13: u64,
+    /// Rows rejected by the lemma 14 covering-box bound.
+    pub lemma14: u64,
+    /// Rows that failed to decode (or were empty) and were skipped.
+    pub corrupt: u64,
+}
+
 /// The push-down scan filter applying Lemmas 12–14.
 pub struct LocalFilter {
     side: Arc<QuerySide>,
     eps: f64,
     /// Rows that survived the filter (the paper's "candidates").
     kept: AtomicU64,
-    /// Rows the filter rejected.
-    rejected: AtomicU64,
+    /// Per-lemma reject tallies (their sum is the total rejected).
+    lemma12: AtomicU64,
+    lemma13: AtomicU64,
+    lemma14: AtomicU64,
+    corrupt: AtomicU64,
 }
 
 impl LocalFilter {
@@ -57,7 +83,15 @@ impl LocalFilter {
     /// units). `eps = f64::INFINITY` passes everything — the top-k warm-up
     /// state before k results exist.
     pub fn new(side: Arc<QuerySide>, eps: f64) -> Self {
-        LocalFilter { side, eps, kept: AtomicU64::new(0), rejected: AtomicU64::new(0) }
+        LocalFilter {
+            side,
+            eps,
+            kept: AtomicU64::new(0),
+            lemma12: AtomicU64::new(0),
+            lemma13: AtomicU64::new(0),
+            lemma14: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
     }
 
     /// Rows that survived so far.
@@ -65,13 +99,29 @@ impl LocalFilter {
         self.kept.load(Ordering::Relaxed)
     }
 
-    /// Rows rejected so far.
+    /// Rows rejected so far (all causes).
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        let r = self.reject_counts();
+        r.lemma12 + r.lemma13 + r.lemma14 + r.corrupt
+    }
+
+    /// Reject tallies broken down by the lemma that fired.
+    pub fn reject_counts(&self) -> FilterRejects {
+        FilterRejects {
+            lemma12: self.lemma12.load(Ordering::Relaxed),
+            lemma13: self.lemma13.load(Ordering::Relaxed),
+            lemma14: self.lemma14.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
     }
 
     /// The pure predicate: would a row with these columns survive?
     pub fn passes(&self, row: &RowValue) -> bool {
+        self.classify(row) == Verdict::Pass
+    }
+
+    /// Runs the checks cheap-first and names the first one that fails.
+    fn classify(&self, row: &RowValue) -> Verdict {
         let q = &self.side;
         // Rejection slack: oriented-box distance arithmetic leaves ~1e-16
         // residue; a filter may only reject when the bound *certainly*
@@ -84,24 +134,24 @@ impl LocalFilter {
             let q_start = q.points[0];
             let q_end = *q.points.last().expect("queries are non-empty");
             if q_start.distance(&t_start) > eps || q_end.distance(&t_end) > eps {
-                return false;
+                return Verdict::Lemma12;
             }
         }
         // Lemma 13, both directions (Lemma 5 is symmetric in T₁/T₂).
         if !row.features.rep_points_within(&q.features, eps) {
-            return false;
+            return Verdict::Lemma13;
         }
         if !q.features.rep_points_within(&row.features, eps) {
-            return false;
+            return Verdict::Lemma13;
         }
         // Lemma 14, both directions.
         if !row.features.boxes_within(&q.features, eps) {
-            return false;
+            return Verdict::Lemma14;
         }
         if !q.features.boxes_within(&row.features, eps) {
-            return false;
+            return Verdict::Lemma14;
         }
-        true
+        Verdict::Pass
     }
 }
 
@@ -110,19 +160,30 @@ impl ScanFilter for LocalFilter {
         let Ok(row) = RowValue::decode(value) else {
             // A corrupt row cannot be verified; reject it rather than crash
             // the scan (it will surface via store-level checksums).
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
             return FilterDecision::Skip;
         };
         if row.points.is_empty() {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
             return FilterDecision::Skip;
         }
-        if self.passes(&row) {
-            self.kept.fetch_add(1, Ordering::Relaxed);
-            FilterDecision::Keep
-        } else {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            FilterDecision::Skip
+        match self.classify(&row) {
+            Verdict::Pass => {
+                self.kept.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::Keep
+            }
+            Verdict::Lemma12 => {
+                self.lemma12.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::Skip
+            }
+            Verdict::Lemma13 => {
+                self.lemma13.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::Skip
+            }
+            Verdict::Lemma14 => {
+                self.lemma14.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::Skip
+            }
         }
     }
 }
@@ -205,5 +266,25 @@ mod tests {
         assert_eq!(filter.check(b"k", b"\x03garbage"), FilterDecision::Skip);
         assert_eq!(filter.kept(), 1);
         assert_eq!(filter.rejected(), 2);
+        let rejects = filter.reject_counts();
+        assert_eq!(rejects.corrupt, 1);
+        assert_eq!(rejects.lemma12 + rejects.lemma13 + rejects.lemma14, 1, "{rejects:?}");
+    }
+
+    #[test]
+    fn reject_counts_attribute_the_firing_lemma() {
+        // Endpoints far apart → lemma 12 under Fréchet.
+        let q = traj(0, &[(0.0, 0.0), (1.0, 0.0)]);
+        let t = traj(1, &[(50.0, 0.0), (1.0, 0.0)]);
+        let filter = LocalFilter::new(QuerySide::new(&q, 0.01, Measure::Frechet), 0.5);
+        assert_eq!(filter.check(b"k", &row_of(&t, 0.01).encode()), FilterDecision::Skip);
+        assert_eq!(filter.reject_counts().lemma12, 1);
+        // Hausdorff skips lemma 12, so a far row falls to lemma 13/14.
+        let filter = LocalFilter::new(QuerySide::new(&q, 0.01, Measure::Hausdorff), 0.5);
+        let far = traj(2, &[(50.0, 50.0), (51.0, 50.0)]);
+        assert_eq!(filter.check(b"k", &row_of(&far, 0.01).encode()), FilterDecision::Skip);
+        let r = filter.reject_counts();
+        assert_eq!(r.lemma12, 0);
+        assert_eq!(r.lemma13 + r.lemma14, 1, "{r:?}");
     }
 }

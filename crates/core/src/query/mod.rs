@@ -12,12 +12,12 @@
 //! Only the survivors pay the exact similarity computation.
 
 mod local_filter;
-mod range;
-mod threshold;
+pub(crate) mod range;
+pub(crate) mod threshold;
 mod timed_filter;
-mod topk;
+pub(crate) mod topk;
 
-pub use local_filter::{LocalFilter, QuerySide};
+pub use local_filter::{FilterRejects, LocalFilter, QuerySide};
 pub use range::range_search;
 pub use threshold::threshold_search;
 pub use timed_filter::TimedFilter;

@@ -12,23 +12,37 @@ use crate::schema::{parse_rowkey, rowkey_range, RowValue};
 use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 use trass_geo::Mbr;
 use trass_index::quad::Cell;
 use trass_index::ranges::coalesce;
 use trass_index::xzstar::{IndexSpace, PositionCode, XzStar};
 use trass_kv::{FilterDecision, KeyRange, KvError};
-use trass_obs::{Span, STAGE_HISTOGRAM};
+use trass_obs::{QueryTrace, Span, TraceCtx, STAGE_HISTOGRAM};
 
 /// Finds every trajectory with at least one point inside `window` (world
 /// coordinates). The returned "distance" field carries 0.0 — range queries
 /// have no similarity value.
 pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResult, KvError> {
+    let ctx = store.begin_trace();
+    let (result, _) = range_search_traced(store, window, ctx)?;
+    Ok(result)
+}
+
+/// [`range_search`] under an explicit trace context.
+pub(crate) fn range_search_traced(
+    store: &TrajectoryStore,
+    window: &Mbr,
+    ctx: TraceCtx,
+) -> Result<(SearchResult, Option<Arc<QueryTrace>>), KvError> {
+    let mut root = ctx.root("range");
     let t_all = Instant::now();
     let mut stats = QueryStats::default();
     let config = store.config();
     let index = store.index();
 
+    let mut tspan = root.child("pruning");
     let span = Span::enter(store.registry(), "pruning");
     let unit_window = config.space.mbr_to_unit(window);
     let (values, mut value_ranges) = window_values(index, &unit_window);
@@ -54,6 +68,12 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
     }
     stats.pruning_time = span.finish();
     stats.n_ranges = key_ranges.len();
+    if tspan.is_enabled() {
+        tspan.set_field("value_ranges", value_ranges.len());
+        tspan.set_field("key_ranges", key_ranges.len());
+        tspan.set_duration(stats.pruning_time);
+    }
+    tspan.finish();
 
     // Push the point-in-window test into the scan.
     let window_copy = *window;
@@ -67,9 +87,15 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
     };
     let timed = TimedFilter::new(&filter);
     let io_before = store.cluster().metrics_snapshot();
+    let mut tspan = root.child("scan");
     let span = Span::enter(store.registry(), "scan");
-    let rows = store.cluster().scan_ranges(&key_ranges, &timed)?;
+    let rows = store.cluster().scan_ranges_traced(&key_ranges, &timed, &tspan)?;
     stats.scan_time = span.finish();
+    if tspan.is_enabled() {
+        tspan.set_field("rows_returned", rows.len());
+        tspan.set_duration(stats.scan_time);
+    }
+    tspan.finish();
     store
         .registry()
         .timer(STAGE_HISTOGRAM, &[("stage", "local-filter")])
@@ -78,6 +104,7 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
     stats.retrieved = stats.io.entries_scanned;
     stats.candidates = stats.io.entries_returned;
 
+    let mut tspan = root.child("refine");
     let span = Span::enter(store.registry(), "refine");
     let mut results = Vec::with_capacity(rows.len());
     for row in rows {
@@ -87,21 +114,29 @@ pub fn range_search(store: &TrajectoryStore, window: &Mbr) -> Result<SearchResul
     }
     results.sort_by_key(|&(tid, _)| tid);
     stats.refine_time = span.finish();
+    if tspan.is_enabled() {
+        tspan.set_field("results", results.len());
+        tspan.set_duration(stats.refine_time);
+    }
+    tspan.finish();
     stats.results = results.len() as u64;
     stats.total_time = t_all.elapsed();
-    store.record_query(
-        "range",
-        format!(
-            "window=[{},{}]x[{},{}] results={}",
-            window.min_x,
-            window.max_x,
-            window.min_y,
-            window.max_y,
-            results.len()
-        ),
-        &stats,
+    let detail = format!(
+        "window=[{},{}]x[{},{}] results={}",
+        window.min_x,
+        window.max_x,
+        window.min_y,
+        window.max_y,
+        results.len()
     );
-    Ok(SearchResult { results, stats })
+    if root.is_enabled() {
+        root.set_field("retrieved", stats.retrieved);
+        root.set_field("results", results.len());
+    }
+    root.finish();
+    let trace = store.finish_trace(ctx);
+    store.record_query("range", detail, &stats, trace.clone());
+    Ok((SearchResult { results, stats }, trace))
 }
 
 /// Index values (and whole-subtree ranges) whose space intersects the

@@ -5,11 +5,17 @@ use crate::query::timed_filter::TimedFilter;
 use crate::schema::{parse_rowkey, rowkey_range, RowValue};
 use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
+use std::sync::Arc;
 use std::time::Instant;
 use trass_index::xzstar::{GlobalPruning, PruningConfig, QueryContext};
 use trass_kv::{KeyRange, KvError};
-use trass_obs::{Span, STAGE_HISTOGRAM};
+use trass_obs::{QueryTrace, Span, TraceCtx, TraceSpan, STAGE_HISTOGRAM};
 use trass_traj::{Measure, Trajectory};
+
+/// At most this many per-candidate refine verdicts are recorded into a
+/// trace; past the cap only the counts grow (traces stay bounded even for
+/// ε covering the whole store).
+const REFINE_VERDICT_CAP: usize = 16;
 
 /// Finds every stored trajectory `T` with `f(Q, T) ≤ eps` (world units,
 /// i.e. degrees under the default whole-earth space).
@@ -23,22 +29,47 @@ pub fn threshold_search(
     eps: f64,
     measure: Measure,
 ) -> Result<SearchResult, KvError> {
-    let result = threshold_search_impl(store, query, eps, measure)?;
+    let ctx = store.begin_trace();
+    let (result, _) = threshold_search_traced(store, query, eps, measure, ctx)?;
+    Ok(result)
+}
+
+/// [`threshold_search`] under an explicit trace context: the driver for
+/// both sampled production queries and `explain`. Returns the trace when
+/// the context was enabled.
+pub(crate) fn threshold_search_traced(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    eps: f64,
+    measure: Measure,
+    ctx: TraceCtx,
+) -> Result<(SearchResult, Option<Arc<QueryTrace>>), KvError> {
+    let mut root = ctx.root("threshold");
+    root.set_label("measure", &measure.to_string());
+    root.set_field("eps", eps);
+    let result = threshold_search_impl(store, query, eps, measure, &root)?;
+    root.set_field("results", result.results.len());
+    root.finish();
+    let trace = store.finish_trace(ctx);
     store.record_query(
         "threshold",
         format!("eps={eps} measure={measure} results={}", result.results.len()),
         &result.stats,
+        trace.clone(),
     );
-    Ok(result)
+    Ok((result, trace))
 }
 
 /// The search body, shared with top-k's deepening rounds (which record one
-/// aggregate "topk" query instead of one entry per round).
+/// aggregate "topk" query instead of one entry per round). Stage spans
+/// (`pruning` / `scan` / `local-filter` / `refine`) become children of
+/// `parent`; a disabled parent reduces every trace operation to a branch.
 pub(crate) fn threshold_search_impl(
     store: &TrajectoryStore,
     query: &Trajectory,
     eps: f64,
     measure: Measure,
+    parent: &TraceSpan,
 ) -> Result<SearchResult, KvError> {
     if eps.is_nan() || eps < 0.0 {
         return Err(KvError::InvalidUsage { message: format!("invalid threshold {eps}") });
@@ -51,6 +82,7 @@ pub(crate) fn threshold_search_impl(
 
     // Global pruning (G-Pruning in Fig. 8).
     let span = Span::enter_with(store.registry(), "pruning", &labels);
+    let mut tspan = parent.child("pruning");
     let unit_points = store.to_unit(query.points());
     let eps_unit = config.space.distance_to_unit(eps);
     let ctx = QueryContext::new(store.index(), unit_points, eps_unit);
@@ -63,7 +95,7 @@ pub(crate) fn threshold_search_impl(
             ..PruningConfig::default()
         },
     );
-    let value_ranges = pruner.query_ranges(&ctx);
+    let (value_ranges, prune_stats) = pruner.query_ranges_stats(&ctx);
     let mut key_ranges: Vec<KeyRange> =
         Vec::with_capacity(value_ranges.len() * config.shards as usize);
     for shard in 0..config.shards {
@@ -73,6 +105,19 @@ pub(crate) fn threshold_search_impl(
     }
     stats.pruning_time = span.finish();
     stats.n_ranges = key_ranges.len();
+    if tspan.is_enabled() {
+        tspan.set_field("visited", prune_stats.visited);
+        tspan.set_field("lemma8_pruned", prune_stats.lemma8_pruned);
+        tspan.set_field("lemma9_pruned", prune_stats.lemma9_pruned);
+        tspan.set_field("lemma10_codes_pruned", prune_stats.lemma10_codes_pruned);
+        tspan.set_field("lemma11_codes_pruned", prune_stats.lemma11_codes_pruned);
+        tspan.set_field("codes_emitted", prune_stats.codes_emitted);
+        tspan.set_field("spilled_subtrees", prune_stats.spilled_subtrees);
+        tspan.set_field("value_ranges", value_ranges.len());
+        tspan.set_field("key_ranges", key_ranges.len());
+        tspan.set_duration(stats.pruning_time);
+    }
+    tspan.finish();
 
     // Scan with local filtering pushed down (L-Filtering in Fig. 8).
     let io_before = store.cluster().metrics_snapshot();
@@ -83,7 +128,8 @@ pub(crate) fn threshold_search_impl(
     let filter = LocalFilter::new(side, filter_eps);
     let timed = TimedFilter::new(&filter);
     let span = Span::enter_with(store.registry(), "scan", &labels);
-    let rows = store.cluster().scan_ranges(&key_ranges, &timed)?;
+    let mut tspan = parent.child("scan");
+    let rows = store.cluster().scan_ranges_traced(&key_ranges, &timed, &tspan)?;
     stats.scan_time = span.finish();
     // The filter ran inside the scan; attribute its share separately.
     store
@@ -93,22 +139,57 @@ pub(crate) fn threshold_search_impl(
     stats.io = store.cluster().metrics_snapshot().since(&io_before);
     stats.retrieved = stats.io.entries_scanned;
     stats.candidates = filter.kept();
+    if tspan.is_enabled() {
+        tspan.set_field("rows_returned", rows.len());
+        tspan.set_duration(stats.scan_time);
+        // The local filter ran inside the scan threads; record its share
+        // (and per-lemma kills) as a sibling span with the accumulated
+        // filter time rather than wall time.
+        let mut fspan = parent.child("local-filter");
+        let rejects = filter.reject_counts();
+        fspan.set_field("kept", filter.kept());
+        fspan.set_field("rejected", filter.rejected());
+        fspan.set_field("lemma12_rejects", rejects.lemma12);
+        fspan.set_field("lemma13_rejects", rejects.lemma13);
+        fspan.set_field("lemma14_rejects", rejects.lemma14);
+        fspan.set_field("corrupt_rejects", rejects.corrupt);
+        fspan.set_duration(timed.elapsed());
+        fspan.finish();
+    }
+    tspan.finish();
 
     // Refinement: exact similarity on the candidates.
     let span = Span::enter_with(store.registry(), "refine", &labels);
+    let mut tspan = parent.child("refine");
     let mut results = Vec::new();
+    let mut verdicts = 0usize;
     for row in rows {
         let Some((_, _, tid)) = parse_rowkey(&row.key) else { continue };
         let Ok(value) = RowValue::decode(&row.value) else { continue };
-        if measure.within(query.points(), &value.points, eps) {
+        let hit = measure.within(query.points(), &value.points, eps);
+        if hit {
             // Hits are few; the exact value is worth one more pass.
             let d = measure.distance(query.points(), &value.points);
             results.push((tid, d));
+        }
+        if tspan.is_enabled() && verdicts < REFINE_VERDICT_CAP {
+            verdicts += 1;
+            let verdict = if hit { "hit" } else { "miss" };
+            tspan.set_field("verdict", format!("tid={tid} {verdict}"));
         }
     }
     results.sort_by_key(|&(tid, _)| tid);
     stats.refine_time = span.finish();
     stats.results = results.len() as u64;
+    if tspan.is_enabled() {
+        tspan.set_field("candidates", stats.candidates);
+        tspan.set_field("hits", results.len());
+        if stats.candidates as usize > REFINE_VERDICT_CAP {
+            tspan.set_field("verdicts_capped", true);
+        }
+        tspan.set_duration(stats.refine_time);
+    }
+    tspan.finish();
     stats.total_time = t_all.elapsed();
     Ok(SearchResult { results, stats })
 }

@@ -24,8 +24,10 @@
 use crate::query::threshold::threshold_search_impl;
 use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
+use std::sync::Arc;
 use std::time::Instant;
 use trass_kv::KvError;
+use trass_obs::{QueryTrace, TraceCtx};
 use trass_traj::{Measure, Trajectory};
 
 /// Growth factor between deepening rounds.
@@ -41,8 +43,28 @@ pub fn top_k_search(
     k: usize,
     measure: Measure,
 ) -> Result<SearchResult, KvError> {
+    let ctx = store.begin_trace();
+    let (result, _) = top_k_search_traced(store, query, k, measure, ctx)?;
+    Ok(result)
+}
+
+/// [`top_k_search`] under an explicit trace context. Each deepening round
+/// becomes a `round` child span (with its eps / candidates / results)
+/// whose own children are that round's pruning/scan/refine stages.
+pub(crate) fn top_k_search_traced(
+    store: &TrajectoryStore,
+    query: &Trajectory,
+    k: usize,
+    measure: Measure,
+    ctx: TraceCtx,
+) -> Result<(SearchResult, Option<Arc<QueryTrace>>), KvError> {
+    let mut root = ctx.root("topk");
+    root.set_label("measure", &measure.to_string());
+    root.set_field("k", k);
     if k == 0 {
-        return Ok(SearchResult { results: Vec::new(), stats: QueryStats::default() });
+        root.finish();
+        let trace = store.finish_trace(ctx);
+        return Ok((SearchResult { results: Vec::new(), stats: QueryStats::default() }, trace));
     }
     let t_all = Instant::now();
     let space = &store.config().space;
@@ -56,10 +78,25 @@ pub fn top_k_search(
     let whole_space = space.distance_to_world(2.0);
 
     let mut stats = QueryStats::default();
+    // Per-round summaries for the slow-log entry: the aggregate totals
+    // alone hide which round did the damage.
+    let mut rounds = Vec::new();
     loop {
         // Rounds go through the unrecorded body: the deepening loop logs
         // one aggregate "topk" query, not one entry per round.
-        let round = threshold_search_impl(store, query, eps, measure)?;
+        let round_no = rounds.len();
+        let mut rspan = root.child("round");
+        rspan.set_label("round", &round_no.to_string());
+        rspan.set_field("eps", eps);
+        let round = threshold_search_impl(store, query, eps, measure, &rspan)?;
+        rspan.set_field("candidates", round.stats.candidates);
+        rspan.set_field("results", round.results.len());
+        rspan.finish();
+        rounds.push(format!(
+            "r{round_no}(eps={eps:.6} candidates={} results={})",
+            round.stats.candidates,
+            round.results.len()
+        ));
         stats.pruning_time += round.stats.pruning_time;
         stats.scan_time += round.stats.scan_time;
         stats.refine_time += round.stats.refine_time;
@@ -75,12 +112,21 @@ pub fn top_k_search(
             results.truncate(k);
             stats.results = results.len() as u64;
             stats.total_time = t_all.elapsed();
+            root.set_field("rounds", rounds.len());
+            root.set_field("results", results.len());
+            root.finish();
+            let trace = store.finish_trace(ctx);
             store.record_query(
                 "topk",
-                format!("k={k} measure={measure} eps_final={eps} results={}", results.len()),
+                format!(
+                    "k={k} measure={measure} eps_final={eps} results={} rounds=[{}]",
+                    results.len(),
+                    rounds.join(" ")
+                ),
                 &stats,
+                trace.clone(),
             );
-            return Ok(SearchResult { results, stats });
+            return Ok((SearchResult { results, stats }, trace));
         }
         eps = (eps * GROWTH).min(whole_space);
     }

@@ -2,17 +2,22 @@
 
 use crate::config::TrassConfig;
 use crate::schema::{rowkey, shard_of, RowValue};
-use crate::stats::QueryStats;
+use crate::stats::{QueryStats, SearchResult};
 use std::sync::Arc;
 use std::time::Instant;
-use trass_geo::Point;
+use trass_geo::{Mbr, Point};
 use trass_index::xzstar::{IndexSpace, XzStar};
 use trass_kv::{Cluster, ClusterOptions, KvError};
-use trass_obs::{Counter, Histogram, Registry, SlowLog};
-use trass_traj::{DpFeatures, Trajectory, TrajectoryId};
+use trass_obs::{
+    Counter, FlightRecorder, Histogram, QueryTrace, Registry, SlowLog, TraceCtx, TraceSampler,
+};
+use trass_traj::{DpFeatures, Measure, Trajectory, TrajectoryId};
 
 /// How many slow queries the store retains (top-N by total time).
 const SLOW_LOG_CAPACITY: usize = 32;
+
+/// How many completed query traces the flight recorder retains.
+const FLIGHT_RECORDER_CAPACITY: usize = 32;
 
 /// One retained slow query: what ran and its full accounting.
 #[derive(Debug, Clone)]
@@ -23,6 +28,48 @@ pub struct SlowQueryRecord {
     pub detail: String,
     /// The query's full stats (timings, I/O, cardinalities).
     pub stats: QueryStats,
+    /// The query's span tree, when the query was traced (sampled or
+    /// explained). Untraced queries retain `None` — tracing every
+    /// potential slow query would defeat sampling.
+    pub trace: Option<Arc<QueryTrace>>,
+}
+
+/// A query to run under [`TrajectoryStore::explain`].
+#[derive(Debug, Clone)]
+pub enum ExplainQuery<'a> {
+    /// Threshold similarity search (`f(Q, T) ≤ eps`).
+    Threshold {
+        /// The query trajectory.
+        query: &'a Trajectory,
+        /// Similarity threshold in world units.
+        eps: f64,
+        /// Similarity measure.
+        measure: Measure,
+    },
+    /// Top-k similarity search.
+    TopK {
+        /// The query trajectory.
+        query: &'a Trajectory,
+        /// Number of results.
+        k: usize,
+        /// Similarity measure.
+        measure: Measure,
+    },
+    /// Spatial range query.
+    Range {
+        /// Query window in world coordinates.
+        window: Mbr,
+    },
+}
+
+/// An explained query: its answer plus the full execution trace.
+#[derive(Debug, Clone)]
+pub struct Explained {
+    /// The query's normal result.
+    pub result: SearchResult,
+    /// The execution span tree ([`QueryTrace::render_text`] /
+    /// [`QueryTrace::render_json`] for the two renderings).
+    pub trace: Arc<QueryTrace>,
 }
 
 /// A TraSS deployment: the XZ\* index plus the sharded KV cluster.
@@ -43,6 +90,10 @@ pub struct TrajectoryStore {
     registry: Arc<Registry>,
     /// Top-N slowest queries by total wall-clock time.
     slow_queries: SlowLog<SlowQueryRecord>,
+    /// Deterministic 1-in-N query trace sampling.
+    tracer: TraceSampler,
+    /// Ring buffer of the last N completed traces.
+    flight: FlightRecorder,
     ingest_seconds: Arc<Histogram>,
     ingest_rows: Arc<Counter>,
 }
@@ -73,7 +124,24 @@ impl TrajectoryStore {
         let index = XzStar::new(config.max_resolution);
         let ingest_seconds = registry.timer("trass_ingest_seconds", &[]);
         let ingest_rows = registry.counter("trass_ingest_rows", &[]);
+        // Deployment identity for dashboards: the value is always 1; the
+        // configuration travels in the labels.
+        let shards = config.shards.to_string();
+        registry
+            .gauge(
+                "trass_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("shards", &shards),
+                    ("use_position_codes", bool_label(config.use_position_codes)),
+                    ("use_min_dist", bool_label(config.use_min_dist)),
+                    ("use_local_filter", bool_label(config.use_local_filter)),
+                ],
+            )
+            .set(1);
         Ok(TrajectoryStore {
+            tracer: TraceSampler::every(config.trace_sample_every),
+            flight: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
             config,
             index,
             cluster,
@@ -111,13 +179,66 @@ impl TrajectoryStore {
         self.slow_queries.snapshot().into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Counts a finished query and offers it to the slow-query log. Called
-    /// by the query drivers.
-    pub(crate) fn record_query(&self, kind: &'static str, detail: String, stats: &QueryStats) {
+    /// The flight recorder holding the last N completed query traces
+    /// (sampled queries and every `explain`).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Runs a query with tracing forced on and returns its result together
+    /// with the execution span tree — the `EXPLAIN ANALYZE` entry point.
+    /// The query runs for real (it counts in metrics, the slow log, and
+    /// the flight recorder).
+    pub fn explain(&self, query: ExplainQuery<'_>) -> Result<Explained, KvError> {
+        let ctx = TraceCtx::enabled();
+        let (result, trace) = match query {
+            ExplainQuery::Threshold { query, eps, measure } => {
+                crate::query::threshold::threshold_search_traced(self, query, eps, measure, ctx)?
+            }
+            ExplainQuery::TopK { query, k, measure } => {
+                crate::query::topk::top_k_search_traced(self, query, k, measure, ctx)?
+            }
+            ExplainQuery::Range { window } => {
+                crate::query::range::range_search_traced(self, &window, ctx)?
+            }
+        };
+        let trace = trace.expect("explain forces an enabled trace context");
+        Ok(Explained { result, trace })
+    }
+
+    /// Starts a trace context for one query: enabled for 1-in-N sampled
+    /// queries, otherwise the no-op context (a single branch per span on
+    /// the hot path). Called by the query drivers.
+    pub(crate) fn begin_trace(&self) -> TraceCtx {
+        if self.tracer.sample() {
+            TraceCtx::enabled()
+        } else {
+            TraceCtx::disabled()
+        }
+    }
+
+    /// Completes a trace context: assembles the span tree and retains it
+    /// in the flight recorder. `None` for untraced queries.
+    pub(crate) fn finish_trace(&self, ctx: TraceCtx) -> Option<Arc<QueryTrace>> {
+        let trace = Arc::new(ctx.finish()?);
+        self.flight.push(Arc::clone(&trace));
+        Some(trace)
+    }
+
+    /// Counts a finished query and offers it to the slow-query log (with
+    /// its trace attached when one was recorded). Called by the query
+    /// drivers.
+    pub(crate) fn record_query(
+        &self,
+        kind: &'static str,
+        detail: String,
+        stats: &QueryStats,
+        trace: Option<Arc<QueryTrace>>,
+    ) {
         self.registry.counter("trass_queries", &[("kind", kind)]).inc();
         self.slow_queries.record(
             stats.total_time().as_nanos() as u64,
-            SlowQueryRecord { kind, detail, stats: stats.clone() },
+            SlowQueryRecord { kind, detail, stats: stats.clone(), trace },
         );
     }
 
@@ -234,6 +355,14 @@ impl TrajectoryStore {
     pub fn flush(&self) -> Result<(), KvError> {
         self.cluster.flush()?;
         self.id_index.flush()
+    }
+}
+
+fn bool_label(v: bool) -> &'static str {
+    if v {
+        "true"
+    } else {
+        "false"
     }
 }
 

@@ -12,8 +12,9 @@
 //! * [`OrientedBox`] — a rotated rectangle, used for the DP-feature bounding
 //!   boxes of §IV-D of the paper ("not necessarily parallel to the
 //!   coordinate axis").
-//! * [`normalize`] — mapping between world coordinates (degrees over the
-//!   whole earth) and the unit square the space-filling indexes operate on.
+//! * [`NormalizedSpace`] — mapping between world coordinates (degrees over
+//!   the whole earth) and the unit square the space-filling indexes operate
+//!   on.
 //!
 //! All distances are Euclidean in the coordinate space of the inputs, as in
 //! the paper (which measures similarity thresholds in degrees).

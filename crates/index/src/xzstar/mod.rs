@@ -13,7 +13,7 @@ mod pruning;
 mod topk;
 
 pub use position_code::{io_reduction, surviving_codes, PositionCode, QuadSet, CODE_SETS};
-pub use pruning::{GlobalPruning, PruningConfig, QueryContext};
+pub use pruning::{GlobalPruning, PruneStats, PruningConfig, QueryContext};
 pub use topk::{BestFirst, SpaceCandidate};
 
 use crate::quad::{Cell, MAX_RESOLUTION};

@@ -188,6 +188,28 @@ pub(crate) fn min_point_dist_to_rect(points: &[Point], rect: &Mbr) -> f64 {
     points.iter().map(|p| rect.distance_sq_to_point(p)).fold(f64::INFINITY, f64::min).sqrt()
 }
 
+/// Per-query pruning outcome counters: how many elements each lemma
+/// killed, how many position codes were dropped, and what was emitted.
+/// Filled by [`GlobalPruning::query_ranges_stats`]; feeds trace spans and
+/// ablation reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Elements that survived lemmas 8–9 and were expanded.
+    pub visited: u64,
+    /// Subtrees dropped by the lemma 8 intersection test.
+    pub lemma8_pruned: u64,
+    /// Subtrees dropped by the lemma 9 `minDistEE` bound.
+    pub lemma9_pruned: u64,
+    /// Position codes dropped by the lemma 10 far-quad test.
+    pub lemma10_codes_pruned: u64,
+    /// Position codes dropped by the lemma 11 `minDistIS` bound.
+    pub lemma11_codes_pruned: u64,
+    /// Index values emitted as candidates.
+    pub codes_emitted: u64,
+    /// Subtrees emitted whole because the traversal budget ran out.
+    pub spilled_subtrees: u64,
+}
+
 /// The global pruning engine.
 #[derive(Debug, Clone, Copy)]
 pub struct GlobalPruning<'a> {
@@ -205,7 +227,7 @@ impl<'a> GlobalPruning<'a> {
     /// unsorted. Exact (no traversal budget) — prefer
     /// [`GlobalPruning::query_ranges`] in query paths.
     pub fn query_values(&self, q: &QueryContext) -> Vec<u64> {
-        let (values, spill) = self.traverse(q, usize::MAX);
+        let (values, spill) = self.traverse(q, usize::MAX, &mut PruneStats::default());
         debug_assert!(spill.is_empty());
         values
     }
@@ -213,7 +235,13 @@ impl<'a> GlobalPruning<'a> {
     /// Candidate values coalesced into contiguous scan ranges, respecting
     /// the traversal budget.
     pub fn query_ranges(&self, q: &QueryContext) -> Vec<ValueRange> {
-        let (values, mut ranges) = self.traverse(q, self.config.node_budget);
+        self.query_ranges_stats(q).0
+    }
+
+    /// [`GlobalPruning::query_ranges`] plus per-lemma pruning counters.
+    pub fn query_ranges_stats(&self, q: &QueryContext) -> (Vec<ValueRange>, PruneStats) {
+        let mut stats = PruneStats::default();
+        let (values, mut ranges) = self.traverse(q, self.config.node_budget, &mut stats);
         ranges.extend(coalesce(values, self.config.range_gap));
         ranges.sort_by_key(|r| r.start);
         let mut out: Vec<ValueRange> = Vec::new();
@@ -225,12 +253,17 @@ impl<'a> GlobalPruning<'a> {
                 _ => out.push(r),
             }
         }
-        out
+        (out, stats)
     }
 
     /// BFS core: returns exact candidate values plus whole-subtree spill
     /// ranges for anything past `budget` visited elements.
-    fn traverse(&self, q: &QueryContext, budget: usize) -> (Vec<u64>, Vec<ValueRange>) {
+    fn traverse(
+        &self,
+        q: &QueryContext,
+        budget: usize,
+        stats: &mut PruneStats,
+    ) -> (Vec<u64>, Vec<ValueRange>) {
         let mut out = Vec::new();
         let mut spill = Vec::new();
         let mut visited = 0usize;
@@ -240,9 +273,11 @@ impl<'a> GlobalPruning<'a> {
             let ee = cell.enlarged();
             // Lemma 8 (cheap intersection), then Lemma 9 (edge distances).
             if !ee.intersects(&q.ext_mbr) {
+                stats.lemma8_pruned += 1;
                 continue;
             }
             if self.config.use_min_dist && min_dist_ee(&q.mbr, &ee) > q.eps + PRUNE_SLACK {
+                stats.lemma9_pruned += 1;
                 continue;
             }
             visited += 1;
@@ -250,19 +285,28 @@ impl<'a> GlobalPruning<'a> {
                 // Sound fallback: the whole subtree as one scan range.
                 let (start, end) = self.index.subtree_range(&cell);
                 spill.push(ValueRange { start, end });
+                stats.spilled_subtrees += 1;
                 continue;
             }
+            stats.visited += 1;
             if cell.level >= q.min_r && cell.level <= q.max_r {
-                self.emit_codes(&cell, q, &mut out);
+                self.emit_codes(&cell, q, &mut out, stats);
             }
             if cell.level < q.max_r && cell.level < self.index.max_resolution() {
                 queue.extend(cell.children());
             }
         }
+        stats.codes_emitted += out.len() as u64;
         (out, spill)
     }
 
-    fn emit_codes(&self, cell: &Cell, q: &QueryContext, out: &mut Vec<u64>) {
+    fn emit_codes(
+        &self,
+        cell: &Cell,
+        q: &QueryContext,
+        out: &mut Vec<u64>,
+        stats: &mut PruneStats,
+    ) {
         let rects = XzStar::quad_rects(cell);
         let at_max = cell.level == self.index.max_resolution();
         // Lemma 10: which quads are too far from the query's points?
@@ -280,6 +324,7 @@ impl<'a> GlobalPruning<'a> {
         for code in PositionCode::all(at_max) {
             if self.config.use_position_codes {
                 if code.quads().intersects(far) {
+                    stats.lemma10_codes_pruned += 1;
                     continue; // Lemma 10
                 }
                 if self.config.use_min_dist {
@@ -289,6 +334,7 @@ impl<'a> GlobalPruning<'a> {
                         .map(|s| rects[s.quad_index().expect("singleton")])
                         .collect();
                     if min_dist_is(&q.mbr, &is_rects) > q.eps + PRUNE_SLACK {
+                        stats.lemma11_codes_pruned += 1;
                         continue; // Lemma 11
                     }
                 }
@@ -494,5 +540,38 @@ mod tests {
     #[should_panic(expected = "empty query")]
     fn empty_query_rejected() {
         QueryContext::new(&XzStar::new(8), vec![], 0.1);
+    }
+
+    #[test]
+    fn prune_stats_account_for_the_traversal() {
+        let index = XzStar::new(10);
+        let pruner = GlobalPruning::new(&index, PruningConfig::default());
+        let query = pts(&[(0.31, 0.42), (0.33, 0.45), (0.36, 0.41)]);
+        let q = QueryContext::new(&index, query, 0.002);
+        let (ranges, stats) = pruner.query_ranges_stats(&q);
+        assert!(!ranges.is_empty());
+        assert!(stats.visited > 0);
+        // A small query in a deep tree must prune something somewhere.
+        assert!(stats.lemma8_pruned + stats.lemma9_pruned > 0, "{stats:?}");
+        assert!(stats.lemma10_codes_pruned + stats.lemma11_codes_pruned > 0, "{stats:?}");
+        assert!(stats.codes_emitted > 0);
+        assert_eq!(stats.spilled_subtrees, 0);
+        // The stats-carrying path returns the same plan as the plain one.
+        assert_eq!(ranges, pruner.query_ranges(&q));
+    }
+
+    #[test]
+    fn prune_stats_record_budget_spills() {
+        let index = XzStar::new(10);
+        let pruner = GlobalPruning::new(
+            &index,
+            PruningConfig { node_budget: 4, ..PruningConfig::default() },
+        );
+        // A whole-space threshold visits far more than 4 elements.
+        let query = pts(&[(0.1, 0.1), (0.6, 0.7)]);
+        let q = QueryContext::new(&index, query, 0.5);
+        let (_, stats) = pruner.query_ranges_stats(&q);
+        assert!(stats.spilled_subtrees > 0, "{stats:?}");
+        assert!(stats.visited <= 4);
     }
 }

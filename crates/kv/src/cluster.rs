@@ -17,7 +17,7 @@ use crate::types::{Entry, KeyRange};
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Instant;
-use trass_obs::{Counter, Histogram, Registry};
+use trass_obs::{Counter, Histogram, Registry, TraceSpan};
 
 /// Cluster topology and per-region store tuning.
 #[derive(Debug, Clone)]
@@ -152,6 +152,18 @@ impl Cluster {
         ranges: &[KeyRange],
         filter: &(dyn ScanFilter + '_),
     ) -> Result<Vec<Entry>> {
+        self.scan_ranges_traced(ranges, filter, &TraceSpan::disabled())
+    }
+
+    /// [`Cluster::scan_ranges`] recording one `region-scan` child span per
+    /// involved shard under `parent`, with per-region row/byte/bloom/cache
+    /// deltas. With a disabled parent this adds one branch per shard.
+    pub fn scan_ranges_traced(
+        &self,
+        ranges: &[KeyRange],
+        filter: &(dyn ScanFilter + '_),
+        parent: &TraceSpan,
+    ) -> Result<Vec<Entry>> {
         // Group ranges by owning shard. Ranges produced by the rowkey
         // schema carry a shard prefix and land on one shard; administrative
         // scans (e.g. `KeyRange::all()`) are split per shard.
@@ -183,9 +195,11 @@ impl Cluster {
                         let seconds = Arc::clone(&self.scan_obs[shard].seconds);
                         scope.spawn(move |_| {
                             scans.inc();
+                            let span = region_span(parent, shard, &ranges, &region);
                             let t = Instant::now();
                             let r = scan_region(&region, &ranges, filter);
                             seconds.record_duration(t.elapsed());
+                            finish_region_span(span, &region, &r);
                             r
                         })
                     })
@@ -204,10 +218,13 @@ impl Cluster {
             let mut out = Vec::new();
             for &shard in &involved {
                 self.scan_obs[shard].scans.inc();
+                let region = &self.regions[shard];
+                let span = region_span(parent, shard, &per_shard[shard], region);
                 let t = Instant::now();
-                let r = scan_region(&self.regions[shard], &per_shard[shard], filter)?;
+                let r = scan_region(region, &per_shard[shard], filter);
                 self.scan_obs[shard].seconds.record_duration(t.elapsed());
-                out.extend(r);
+                finish_region_span(span, region, &r);
+                out.extend(r?);
             }
             Ok(out)
         }
@@ -248,6 +265,48 @@ impl Cluster {
     pub fn region_entry_counts(&self) -> Vec<u64> {
         self.regions.iter().map(|r| r.table_entries() + r.memtable_len() as u64).collect()
     }
+}
+
+/// Opens a per-region trace span, capturing the region's I/O counters so
+/// [`finish_region_span`] can record the scan's deltas. `None` (no work at
+/// all) when the parent span is disabled.
+fn region_span(
+    parent: &TraceSpan,
+    shard: usize,
+    ranges: &[KeyRange],
+    region: &LsmStore,
+) -> Option<(TraceSpan, MetricsSnapshot)> {
+    if !parent.is_enabled() {
+        return None;
+    }
+    let mut span = parent.child("region-scan");
+    span.set_label("shard", &shard.to_string());
+    span.set_field("ranges", ranges.len());
+    Some((span, region.metrics().snapshot()))
+}
+
+/// Records the scan's per-region I/O deltas and row count into the span
+/// opened by [`region_span`]. Deltas are computed from the region's shared
+/// counters, so concurrent queries on the same region can inflate them;
+/// rows_returned comes from this scan's own result and is exact.
+fn finish_region_span(
+    span: Option<(TraceSpan, MetricsSnapshot)>,
+    region: &LsmStore,
+    result: &Result<Vec<Entry>>,
+) {
+    let Some((mut span, before)) = span else { return };
+    let delta = region.metrics().snapshot().since(&before);
+    span.set_field("rows_scanned", delta.entries_scanned);
+    match result {
+        Ok(entries) => span.set_field("rows_returned", entries.len()),
+        Err(e) => span.set_field("error", e.to_string()),
+    }
+    span.set_field("bytes_read", delta.bytes_read);
+    span.set_field("blocks_read", delta.blocks_read);
+    span.set_field("bloom_probes", delta.bloom_probes);
+    span.set_field("cache_hits", delta.cache_hits);
+    span.set_field("cache_misses", delta.cache_misses);
+    span.finish();
 }
 
 fn scan_region(
@@ -337,7 +396,7 @@ mod tests {
         }
         let even = |_k: &[u8], v: &[u8]| {
             let i: u32 = std::str::from_utf8(v).unwrap().parse().unwrap();
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 FilterDecision::Keep
             } else {
                 FilterDecision::Skip
@@ -392,6 +451,37 @@ mod tests {
         // All regions share one registry and label themselves by shard.
         let text = r.render_prometheus();
         assert!(text.contains("trass_kv_region_scans{shard=\"2\"} 1"));
+    }
+
+    #[test]
+    fn traced_scan_records_one_span_per_involved_region() {
+        use trass_obs::TraceCtx;
+        let c = cluster(4);
+        for shard in 0..4u8 {
+            for i in 0..20 {
+                c.put(key(shard, &format!("k{i:03}")), "v").unwrap();
+            }
+        }
+        let ranges = vec![
+            KeyRange::new(key(0, "k000"), key(0, "k010")),
+            KeyRange::new(key(3, "k000"), key(3, "k005")),
+        ];
+        let ctx = TraceCtx::enabled();
+        let root = ctx.root("scan");
+        let entries = c.scan_ranges_traced(&ranges, &KeepAll, &root).unwrap();
+        root.finish();
+        let t = ctx.finish().unwrap();
+        assert_eq!(entries.len(), 15);
+        // Parallel fan-out: span start order is nondeterministic, so key
+        // the assertions by shard label.
+        let mut spans: Vec<_> = t.root.children_named("region-scan").collect();
+        spans.sort_by_key(|s| s.label("shard").unwrap().to_string());
+        assert_eq!(spans.len(), 2);
+        let shards: Vec<&str> = spans.iter().map(|s| s.label("shard").unwrap()).collect();
+        assert_eq!(shards, vec!["0", "3"]);
+        assert_eq!(spans[0].field_u64("rows_scanned"), Some(10));
+        assert_eq!(spans[0].field_u64("rows_returned"), Some(10));
+        assert_eq!(spans[1].field_u64("rows_returned"), Some(5));
     }
 
     #[test]

@@ -627,7 +627,7 @@ mod tests {
         // Keep every third row.
         let every_third = |key: &[u8], _v: &[u8]| {
             let i: u32 = std::str::from_utf8(&key[4..]).unwrap().parse().unwrap();
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 FilterDecision::Keep
             } else {
                 FilterDecision::Skip

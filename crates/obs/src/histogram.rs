@@ -11,8 +11,8 @@
 //! # Bucketing scheme
 //!
 //! Values are u64 (the stack records nanoseconds or bytes). Buckets are
-//! log-linear: values below 2^[`SUB_BITS`] get exact unit buckets; above
-//! that, each power-of-two range is split into 2^[`SUB_BITS`] equal
+//! log-linear: values below `2^SUB_BITS` get exact unit buckets; above
+//! that, each power-of-two range is split into `2^SUB_BITS` equal
 //! sub-buckets. With `SUB_BITS = 5` the relative quantization error is
 //! bounded by 1/32 ≈ 3.1 % across the whole u64 range, using
 //! [`N_BUCKETS`] = 1920 counters (15 KiB per histogram).

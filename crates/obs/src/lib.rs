@@ -20,6 +20,9 @@
 //! * Exporters — Prometheus text format ([`Registry::render_prometheus`])
 //!   and JSON ([`Registry::render_json`] / [`Registry::snapshot`]).
 //! * [`SlowLog`] — a fixed-capacity top-N-by-latency query log.
+//! * [`trace`] — sampled per-query span trees ([`TraceCtx`] /
+//!   [`QueryTrace`]) with `EXPLAIN ANALYZE` and JSON renderers, plus a
+//!   [`FlightRecorder`] ring buffer of the last N completed traces.
 //!
 //! Metric name conventions: `trass_query_*` (query pipeline),
 //! `trass_kv_*` (store internals), `trass_ingest_*` (write path);
@@ -34,9 +37,13 @@ pub mod histogram;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
+pub mod trace;
 
 pub use export::{MetricSnapshot, MetricValue};
 pub use histogram::{Histogram, Percentiles};
 pub use registry::{Counter, Gauge, Registry};
 pub use slowlog::SlowLog;
 pub use span::{Span, STAGE_HISTOGRAM};
+pub use trace::{
+    FieldValue, FlightRecorder, QueryTrace, SpanRecord, TraceCtx, TraceSampler, TraceSpan,
+};

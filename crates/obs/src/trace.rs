@@ -1,0 +1,1007 @@
+//! Per-query trace recording: span trees, sampling, and a flight recorder.
+//!
+//! Aggregate metrics ([`crate::Registry`]) answer "how is the system
+//! doing?"; they cannot answer "why was *this* query slow?". A
+//! [`TraceCtx`] records one query's execution as a tree of [`SpanRecord`]s
+//! — each with a name, labels, typed [`FieldValue`] payloads, and wall
+//! time — which renders as an `EXPLAIN ANALYZE`-style tree
+//! ([`QueryTrace::render_text`]) or JSON ([`QueryTrace::render_json`],
+//! round-tripped by [`QueryTrace::from_json`]).
+//!
+//! Cost model: tracing is *sampled*. A disabled [`TraceCtx`] hands out
+//! disabled [`TraceSpan`]s whose every method is a no-op behind a single
+//! `Option` branch — no allocation, no clock reads — so the hot path pays
+//! one branch per would-be span. [`TraceSampler`] decides 1-in-N with a
+//! deterministic counter (no RNG): queries 0, N, 2N, … are traced.
+//! Explain-style callers force an enabled context instead.
+//!
+//! Completed traces land in the [`FlightRecorder`], a fixed-capacity ring
+//! buffer of the last N traces, so "what just happened?" is answerable
+//! after the fact without external collectors.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned counter-like payload (row counts, byte counts).
+    U64(u64),
+    /// Floating-point payload (thresholds, distances).
+    F64(f64),
+    /// Textual payload (verdicts, identifiers).
+    Str(String),
+    /// Boolean payload (flags, capped markers).
+    Bool(bool),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One completed span: a named, labelled, timed node of the trace tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanRecord {
+    /// Stage name (`"threshold"`, `"pruning"`, `"region-scan"`, …).
+    pub name: String,
+    /// Identity labels (`("shard", "3")`), in insertion order.
+    pub labels: Vec<(String, String)>,
+    /// Typed payloads (`("rows_scanned", U64(512))`), in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Start offset from the trace root's start, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Child spans, ordered by `start_ns`.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// The first child with the given name, if any.
+    pub fn child(&self, name: &str) -> Option<&SpanRecord> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// The value of a `u64` field, if present.
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            FieldValue::U64(n) if k == name => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// The value of a label, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels.iter().find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+
+    /// Depth-first search for the first descendant (or self) with `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total number of spans in this subtree (including self).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanRecord::span_count).sum::<usize>()
+    }
+}
+
+/// A completed span in flat (pre-assembly) form.
+#[derive(Debug)]
+struct FlatSpan {
+    id: u32,
+    parent: u32,
+    name: String,
+    labels: Vec<(String, String)>,
+    fields: Vec<(String, FieldValue)>,
+    start_ns: u64,
+    duration_ns: u64,
+}
+
+/// Sentinel parent id of the root span.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Shared state of one enabled trace.
+struct TraceInner {
+    start: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<FlatSpan>>,
+}
+
+impl TraceInner {
+    fn new() -> Self {
+        TraceInner {
+            start: Instant::now(),
+            next_id: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn alloc_id(&self) -> u32 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) as u32
+    }
+}
+
+/// A per-query trace recorder. Cheap to clone; a disabled context is a
+/// `None` and every operation derived from it is a no-op.
+#[derive(Clone)]
+pub struct TraceCtx(Option<Arc<TraceInner>>);
+
+impl TraceCtx {
+    /// A context that records nothing: the sampled-out fast path.
+    pub fn disabled() -> TraceCtx {
+        TraceCtx(None)
+    }
+
+    /// A context that records every span opened under it.
+    pub fn enabled() -> TraceCtx {
+        TraceCtx(Some(Arc::new(TraceInner::new())))
+    }
+
+    /// Whether spans opened under this context record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens the root span. Call once per trace; the root must be finished
+    /// (or dropped) before [`TraceCtx::finish`].
+    pub fn root(&self, name: &str) -> TraceSpan {
+        match &self.0 {
+            Some(inner) => TraceSpan::open(Arc::clone(inner), NO_PARENT, name),
+            None => TraceSpan::disabled(),
+        }
+    }
+
+    /// Assembles the recorded spans into a [`QueryTrace`]. Returns `None`
+    /// for a disabled context or when no root span was recorded.
+    pub fn finish(self) -> Option<QueryTrace> {
+        let inner = self.0?;
+        let flats = std::mem::take(&mut *inner.spans.lock().expect("trace poisoned"));
+        assemble(flats).map(|root| QueryTrace { root })
+    }
+}
+
+impl fmt::Debug for TraceCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCtx").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+/// Builds the span tree from completed flat spans. Spans whose parent was
+/// never completed attach to the root (best effort; drivers finish spans
+/// in LIFO order so this only happens on error paths).
+fn assemble(mut flats: Vec<FlatSpan>) -> Option<SpanRecord> {
+    // Tie-break equal start times by allocation id so a parent always
+    // sorts before children it opened within the same nanosecond.
+    flats.sort_by_key(|s| (s.start_ns, s.id));
+    let root_at = flats.iter().position(|s| s.parent == NO_PARENT)?;
+    let root_id = flats[root_at].id;
+    let mut nodes: Vec<(u32, u32, SpanRecord)> = flats
+        .into_iter()
+        .map(|f| {
+            let record = SpanRecord {
+                name: f.name,
+                labels: f.labels,
+                fields: f.fields,
+                start_ns: f.start_ns,
+                duration_ns: f.duration_ns,
+                children: Vec::new(),
+            };
+            (f.id, f.parent, record)
+        })
+        .collect();
+    // Attach children to parents, deepest-start first so grandchildren are
+    // already in place when their parent moves. Quadratic in span count,
+    // which is bounded (tens of spans per query).
+    let known: std::collections::HashSet<u32> = nodes.iter().map(|&(id, _, _)| id).collect();
+    while nodes.len() > 1 {
+        // Take the last span that is not the root; its children (if any)
+        // were appended already because children start after parents and
+        // the list is start-sorted.
+        let idx = (0..nodes.len()).rev().find(|&i| nodes[i].0 != root_id)?;
+        let (id, parent, record) = nodes.remove(idx);
+        let parent = if known.contains(&parent) { parent } else { root_id };
+        // Spans are removed in descending (start, id) order, so inserting
+        // at the front leaves each child list ascending; the later stable
+        // sort then only has to handle clock ties.
+        match nodes.iter_mut().find(|(pid, _, _)| *pid == parent) {
+            Some((_, _, p)) => p.children.insert(0, record),
+            None => return None, // parent vanished: malformed trace
+        }
+        let _ = id;
+    }
+    let (_, _, mut root) = nodes.pop()?;
+    sort_children(&mut root);
+    Some(root)
+}
+
+fn sort_children(s: &mut SpanRecord) {
+    s.children.sort_by_key(|c| c.start_ns);
+    for c in &mut s.children {
+        sort_children(c);
+    }
+}
+
+/// Live state of one open span.
+struct SpanState {
+    ctx: Arc<TraceInner>,
+    id: u32,
+    parent: u32,
+    name: String,
+    labels: Vec<(String, String)>,
+    fields: Vec<(String, FieldValue)>,
+    started: Instant,
+    start_ns: u64,
+    /// Explicit duration override (for attributing time measured
+    /// elsewhere, e.g. filter time accumulated across scan threads).
+    duration_override: Option<Duration>,
+}
+
+/// An open span: finishing (or dropping) it appends a [`SpanRecord`] to
+/// its trace. A disabled span (from a disabled [`TraceCtx`]) is a no-op
+/// and costs one branch per call.
+pub struct TraceSpan(Option<SpanState>);
+
+impl TraceSpan {
+    /// A span that records nothing — the hot-path stand-in.
+    pub fn disabled() -> TraceSpan {
+        TraceSpan(None)
+    }
+
+    fn open(ctx: Arc<TraceInner>, parent: u32, name: &str) -> TraceSpan {
+        let id = ctx.alloc_id();
+        let start_ns = ctx.start.elapsed().as_nanos() as u64;
+        TraceSpan(Some(SpanState {
+            ctx,
+            id,
+            parent,
+            name: name.to_string(),
+            labels: Vec::new(),
+            fields: Vec::new(),
+            started: Instant::now(),
+            start_ns,
+            duration_override: None,
+        }))
+    }
+
+    /// Whether this span records anything. Callers can gate expensive
+    /// payload computation (metric snapshots, formatting) on this.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a child span. Children of a disabled span are disabled.
+    pub fn child(&self, name: &str) -> TraceSpan {
+        match &self.0 {
+            Some(s) => TraceSpan::open(Arc::clone(&s.ctx), s.id, name),
+            None => TraceSpan::disabled(),
+        }
+    }
+
+    /// Attaches an identity label.
+    pub fn set_label(&mut self, key: &str, value: &str) {
+        if let Some(s) = &mut self.0 {
+            s.labels.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Attaches a typed payload field.
+    pub fn set_field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        if let Some(s) = &mut self.0 {
+            s.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Overrides the recorded duration (for time measured out-of-band,
+    /// e.g. accumulated across scan threads).
+    pub fn set_duration(&mut self, d: Duration) {
+        if let Some(s) = &mut self.0 {
+            s.duration_override = Some(d);
+        }
+    }
+
+    /// Ends the span, recording its elapsed wall time, and returns that
+    /// elapsed time (zero for disabled spans).
+    pub fn finish(mut self) -> Duration {
+        match self.0.take() {
+            Some(s) => record_state(s),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+fn record_state(s: SpanState) -> Duration {
+    let elapsed = s.started.elapsed();
+    let recorded = s.duration_override.unwrap_or(elapsed);
+    let flat = FlatSpan {
+        id: s.id,
+        parent: s.parent,
+        name: s.name,
+        labels: s.labels,
+        fields: s.fields,
+        start_ns: s.start_ns,
+        duration_ns: recorded.as_nanos() as u64,
+    };
+    s.ctx.spans.lock().expect("trace poisoned").push(flat);
+    elapsed
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            record_state(s);
+        }
+    }
+}
+
+impl fmt::Debug for TraceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(s) => f.debug_struct("TraceSpan").field("name", &s.name).finish(),
+            None => f.write_str("TraceSpan(disabled)"),
+        }
+    }
+}
+
+/// A completed per-query trace: the span tree of one query's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The query's root span.
+    pub root: SpanRecord,
+}
+
+impl QueryTrace {
+    /// Depth-first search for the first span with `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.root.find(name)
+    }
+
+    /// Renders the trace as an indented `EXPLAIN ANALYZE`-style tree:
+    /// one line per span with its wall time, percentage of parent time,
+    /// labels, and fields.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        render_span(&mut out, &self.root, 0, None);
+        out
+    }
+
+    /// Renders the trace as a JSON document (no external dependencies;
+    /// parse it back with [`QueryTrace::from_json`]).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        json::write_span(&mut out, &self.root);
+        out
+    }
+
+    /// Parses a document produced by [`QueryTrace::render_json`].
+    pub fn from_json(s: &str) -> Result<QueryTrace, String> {
+        json::parse_span(s).map(|root| QueryTrace { root })
+    }
+}
+
+fn render_span(out: &mut String, s: &SpanRecord, depth: usize, parent_ns: Option<u64>) {
+    use std::fmt::Write as _;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "{}", s.name);
+    if !s.labels.is_empty() {
+        out.push_str(" [");
+        for (i, (k, v)) in s.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{k}={v}");
+        }
+        out.push(']');
+    }
+    let _ = write!(out, "  {}", fmt_duration(s.duration_ns));
+    if let Some(parent_ns) = parent_ns {
+        if parent_ns > 0 {
+            let _ = write!(out, " ({:.1}%)", s.duration_ns as f64 / parent_ns as f64 * 100.0);
+        }
+    }
+    for (k, v) in &s.fields {
+        let _ = write!(out, "  {k}={v}");
+    }
+    out.push('\n');
+    for c in &s.children {
+        render_span(out, c, depth + 1, Some(s.duration_ns));
+    }
+}
+
+/// Human-scale duration: picks ns/µs/ms/s.
+fn fmt_duration(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Deterministic 1-in-N sampling: no RNG, queries `0, N, 2N, …` sample.
+#[derive(Debug)]
+pub struct TraceSampler {
+    every: u64,
+    counter: AtomicU64,
+}
+
+impl TraceSampler {
+    /// Samples one query in `every`. `every == 0` disables sampling
+    /// entirely, `every == 1` traces everything.
+    pub fn every(every: u64) -> Self {
+        TraceSampler { every, counter: AtomicU64::new(0) }
+    }
+
+    /// Decides the current query: true for the 1st, N+1th, 2N+1th, ….
+    pub fn sample(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.counter.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+    }
+
+    /// The sampling period (0 = disabled).
+    pub fn period(&self) -> u64 {
+        self.every
+    }
+}
+
+/// A fixed-capacity ring buffer of the last N completed traces.
+pub struct FlightRecorder {
+    traces: Mutex<VecDeque<Arc<QueryTrace>>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the `capacity` most recent traces.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { traces: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Appends a trace, evicting the oldest past capacity.
+    pub fn push(&self, trace: Arc<QueryTrace>) {
+        let mut traces = self.traces.lock().expect("flight recorder poisoned");
+        if traces.len() == self.capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<Arc<QueryTrace>> {
+        self.traces.lock().expect("flight recorder poisoned").iter().cloned().collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.traces.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// True when no trace has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every retained trace.
+    pub fn clear(&self) {
+        self.traces.lock().expect("flight recorder poisoned").clear();
+    }
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// Hand-rolled JSON emit/parse for the trace schema, so the crate stays
+/// dependency-free. The parser accepts exactly the grammar the writer
+/// emits (objects, arrays, strings, unsigned integers, floats, booleans).
+mod json {
+    use super::{FieldValue, SpanRecord};
+    use std::fmt::Write as _;
+
+    pub(super) fn write_span(out: &mut String, s: &SpanRecord) {
+        let _ = write!(out, "{{\"name\":{}", string(&s.name));
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in s.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", string(k), string(v));
+        }
+        out.push_str("},\"fields\":{");
+        for (i, (k, v)) in s.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", string(k));
+            match v {
+                FieldValue::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                // Floats always carry a decimal point or exponent so the
+                // parser can tell them from integers on the way back in.
+                FieldValue::F64(x) if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 => {
+                    let _ = write!(out, "{x:.1}");
+                }
+                FieldValue::F64(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                FieldValue::F64(_) => out.push_str("null"),
+                FieldValue::Str(t) => out.push_str(&string(t)),
+                FieldValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        let _ = write!(out, "}},\"start_ns\":{},\"duration_ns\":{}", s.start_ns, s.duration_ns);
+        out.push_str(",\"children\":[");
+        for (i, c) in s.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_span(out, c);
+        }
+        out.push_str("]}");
+    }
+
+    fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    pub(super) fn parse_span(s: &str) -> Result<SpanRecord, String> {
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let span = p.span()?;
+        p.ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(span)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn eat(&mut self, b: u8) -> bool {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn keyword(&mut self, word: &str) -> bool {
+            self.ws();
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos).copied() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos).copied() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                                self.pos += 4;
+                            }
+                            _ => return Err("bad escape".into()),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8 sequences pass through intact.
+                        let start = self.pos;
+                        let s =
+                            std::str::from_utf8(&self.bytes[start..]).map_err(|e| e.to_string())?;
+                        let c = s.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<FieldValue, String> {
+            self.ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+            if text.contains(['.', 'e', 'E']) {
+                text.parse::<f64>().map(FieldValue::F64).map_err(|e| e.to_string())
+            } else {
+                text.parse::<u64>().map(FieldValue::U64).map_err(|e| e.to_string())
+            }
+        }
+
+        fn value(&mut self) -> Result<FieldValue, String> {
+            match self.peek() {
+                Some(b'"') => self.string().map(FieldValue::Str),
+                Some(b't') if self.keyword("true") => Ok(FieldValue::Bool(true)),
+                Some(b'f') if self.keyword("false") => Ok(FieldValue::Bool(false)),
+                Some(b'n') if self.keyword("null") => Ok(FieldValue::F64(f64::NAN)),
+                _ => self.number(),
+            }
+        }
+
+        /// `{"k": <v>, ...}` with `parse` handling each value.
+        fn object<T>(
+            &mut self,
+            mut parse: impl FnMut(&mut Self, String) -> Result<T, String>,
+        ) -> Result<Vec<T>, String> {
+            self.expect(b'{')?;
+            let mut out = Vec::new();
+            if self.eat(b'}') {
+                return Ok(out);
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                out.push(parse(self, key)?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.expect(b'}')?;
+            Ok(out)
+        }
+
+        fn span(&mut self) -> Result<SpanRecord, String> {
+            let mut span = SpanRecord::default();
+            self.object(|p, key| {
+                match key.as_str() {
+                    "name" => span.name = p.string()?,
+                    "labels" => {
+                        span.labels = p.object(|p, k| Ok((k, p.string()?)))?;
+                    }
+                    "fields" => {
+                        span.fields = p.object(|p, k| Ok((k, p.value()?)))?;
+                    }
+                    "start_ns" => match p.number()? {
+                        FieldValue::U64(n) => span.start_ns = n,
+                        _ => return Err("start_ns must be an integer".into()),
+                    },
+                    "duration_ns" => match p.number()? {
+                        FieldValue::U64(n) => span.duration_ns = n,
+                        _ => return Err("duration_ns must be an integer".into()),
+                    },
+                    "children" => {
+                        p.expect(b'[')?;
+                        if !p.eat(b']') {
+                            loop {
+                                span.children.push(p.span()?);
+                                if !p.eat(b',') {
+                                    break;
+                                }
+                            }
+                            p.expect(b']')?;
+                        }
+                    }
+                    other => return Err(format!("unknown key {other:?}")),
+                }
+                Ok(())
+            })?;
+            Ok(span)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sleepless_trace() -> QueryTrace {
+        let ctx = TraceCtx::enabled();
+        let mut root = ctx.root("threshold");
+        root.set_label("measure", "frechet");
+        root.set_field("eps", 0.002);
+        {
+            let mut pruning = root.child("pruning");
+            pruning.set_field("visited", 42u64);
+            pruning.finish();
+        }
+        {
+            let scan = root.child("scan");
+            for shard in 0..3 {
+                let mut region = scan.child("region-scan");
+                region.set_label("shard", &shard.to_string());
+                region.set_field("rows_scanned", 10u64 + shard);
+                region.finish();
+            }
+            scan.finish();
+        }
+        root.finish();
+        ctx.finish().expect("enabled trace")
+    }
+
+    #[test]
+    fn tree_shape_matches_span_nesting() {
+        let t = sleepless_trace();
+        assert_eq!(t.root.name, "threshold");
+        assert_eq!(t.root.children.len(), 2);
+        assert_eq!(t.root.children[0].name, "pruning");
+        assert_eq!(t.root.children[1].name, "scan");
+        assert_eq!(t.root.children[1].children.len(), 3);
+        assert_eq!(t.root.span_count(), 6);
+        let shards: Vec<&str> = t.root.children[1]
+            .children_named("region-scan")
+            .map(|s| s.label("shard").unwrap())
+            .collect();
+        assert_eq!(shards, vec!["0", "1", "2"]);
+        assert_eq!(t.find("pruning").unwrap().field_u64("visited"), Some(42));
+    }
+
+    #[test]
+    fn disabled_ctx_records_nothing() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        let mut root = ctx.root("threshold");
+        assert!(!root.is_enabled());
+        root.set_field("eps", 1.0);
+        let child = root.child("scan");
+        assert!(!child.is_enabled());
+        child.finish();
+        root.finish();
+        assert!(ctx.finish().is_none());
+    }
+
+    #[test]
+    fn cross_thread_children_attach_to_parent() {
+        let ctx = TraceCtx::enabled();
+        let root = ctx.root("topk");
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let root = &root;
+                s.spawn(move || {
+                    let mut c = root.child("region-scan");
+                    c.set_label("shard", &i.to_string());
+                    c.finish();
+                });
+            }
+        });
+        root.finish();
+        let t = ctx.finish().unwrap();
+        assert_eq!(t.root.children.len(), 4);
+        assert!(t.root.children.iter().all(|c| c.name == "region-scan"));
+    }
+
+    #[test]
+    fn text_rendering_shows_tree_and_percentages() {
+        let t = sleepless_trace();
+        let text = t.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("threshold [measure=frechet]"), "{text}");
+        assert!(lines[0].contains("eps=0.002"));
+        assert!(lines[1].starts_with("  pruning"), "{text}");
+        assert!(lines[1].contains("visited=42"));
+        // Child lines show a percent-of-parent figure.
+        assert!(lines[1].contains('%'), "{text}");
+        assert!(lines.iter().any(|l| l.starts_with("    region-scan [shard=2]")), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let t = sleepless_trace();
+        let json = t.render_json();
+        let back = QueryTrace::from_json(&json).expect("parse");
+        assert_eq!(back, t);
+        // And the re-rendered document is byte-identical.
+        assert_eq!(back.render_json(), json);
+    }
+
+    #[test]
+    fn json_round_trips_typed_fields() {
+        let mut root = SpanRecord { name: "q".into(), ..SpanRecord::default() };
+        root.fields = vec![
+            ("count".into(), FieldValue::U64(u64::MAX)),
+            ("eps".into(), FieldValue::F64(0.25)),
+            ("whole".into(), FieldValue::F64(2.0)),
+            ("verdict".into(), FieldValue::Str("keep \"x\"\n".into())),
+            ("capped".into(), FieldValue::Bool(true)),
+        ];
+        let t = QueryTrace { root };
+        let back = QueryTrace::from_json(&t.render_json()).expect("parse");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(QueryTrace::from_json("").is_err());
+        assert!(QueryTrace::from_json("{\"name\":\"q\"").is_err());
+        assert!(QueryTrace::from_json("{\"nope\":1}").is_err());
+        let t = sleepless_trace();
+        let json = t.render_json();
+        assert!(QueryTrace::from_json(&format!("{json}trailing")).is_err());
+    }
+
+    #[test]
+    fn sampler_is_deterministic_one_in_n() {
+        let s = TraceSampler::every(3);
+        let picks: Vec<bool> = (0..9).map(|_| s.sample()).collect();
+        assert_eq!(picks, vec![true, false, false, true, false, false, true, false, false]);
+        let never = TraceSampler::every(0);
+        assert!((0..10).all(|_| !never.sample()));
+        let always = TraceSampler::every(1);
+        assert!((0..10).all(|_| always.sample()));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n() {
+        let fr = FlightRecorder::new(2);
+        assert!(fr.is_empty());
+        for name in ["a", "b", "c"] {
+            let ctx = TraceCtx::enabled();
+            ctx.root(name).finish();
+            fr.push(Arc::new(ctx.finish().unwrap()));
+        }
+        assert_eq!(fr.len(), 2);
+        let names: Vec<String> = fr.snapshot().iter().map(|t| t.root.name.clone()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        fr.clear();
+        assert!(fr.is_empty());
+    }
+
+    #[test]
+    fn duration_override_wins() {
+        let ctx = TraceCtx::enabled();
+        let root = ctx.root("q");
+        let mut filter = root.child("local-filter");
+        filter.set_duration(Duration::from_millis(123));
+        filter.finish();
+        root.finish();
+        let t = ctx.finish().unwrap();
+        assert_eq!(t.root.children[0].duration_ns, 123_000_000);
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let ctx = TraceCtx::enabled();
+        {
+            let root = ctx.root("q");
+            let _child = root.child("scan");
+            // Both dropped here without explicit finish.
+        }
+        let t = ctx.finish().unwrap();
+        assert_eq!(t.root.name, "q");
+        assert_eq!(t.root.children.len(), 1);
+    }
+}

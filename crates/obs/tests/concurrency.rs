@@ -91,6 +91,42 @@ fn concurrent_merge_preserves_totals() {
 }
 
 #[test]
+fn concurrent_records_and_merges_conserve_counts() {
+    // Recorders and mergers run at the same time: the target must end up
+    // with exactly every sample from both populations, no matter how the
+    // bucket updates interleave.
+    let target = Arc::new(Histogram::new());
+    let sources: Vec<Arc<Histogram>> = (0..THREADS)
+        .map(|t| {
+            let h = Histogram::new();
+            for i in 0..PER_THREAD {
+                h.record(i.wrapping_mul(t as u64 + 7) % 500_000);
+            }
+            Arc::new(h)
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for src in &sources {
+            let target = Arc::clone(&target);
+            let src = Arc::clone(src);
+            s.spawn(move || target.merge(&src));
+        }
+        for t in 0..THREADS {
+            let target = Arc::clone(&target);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    target.record((i * 17 + t as u64) % 500_000);
+                }
+            });
+        }
+    });
+    let expected = 2 * THREADS as u64 * PER_THREAD;
+    assert_eq!(target.count(), expected);
+    let bucket_total: u64 = target.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, expected);
+}
+
+#[test]
 fn spans_record_under_contention() {
     let r = Arc::new(Registry::new());
     std::thread::scope(|s| {
