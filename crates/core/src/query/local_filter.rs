@@ -127,14 +127,16 @@ impl LocalFilter {
         // residue; a filter may only reject when the bound *certainly*
         // exceeds ε (matters for exact-duplicate searches at ε = 0).
         let eps = self.eps + 1e-12;
-        // Lemma 12: endpoints must couple under Fréchet and DTW.
+        // Lemma 12: endpoints must couple under Fréchet and DTW. Rows and
+        // queries are non-empty by construction; an empty one simply has
+        // no endpoints to test.
         if q.measure.supports_endpoint_lemma() {
-            let t_start = row.points[0];
-            let t_end = *row.points.last().expect("stored rows are non-empty");
-            let q_start = q.points[0];
-            let q_end = *q.points.last().expect("queries are non-empty");
-            if q_start.distance(&t_start) > eps || q_end.distance(&t_end) > eps {
-                return Verdict::Lemma12;
+            if let (Some(t_start), Some(t_end), Some(q_start), Some(q_end)) =
+                (row.points.first(), row.points.last(), q.points.first(), q.points.last())
+            {
+                if q_start.distance(t_start) > eps || q_end.distance(t_end) > eps {
+                    return Verdict::Lemma12;
+                }
             }
         }
         // Lemma 13, both directions (Lemma 5 is symmetric in T₁/T₂).

@@ -186,7 +186,8 @@ fn window_values(index: &XzStar, window: &Mbr) -> (Vec<u64>, Vec<trass_index::ra
             let touches = code
                 .quads()
                 .iter()
-                .any(|q| rects[q.quad_index().expect("singleton")].intersects(window));
+                .filter_map(|q| q.quad_index())
+                .any(|i| rects[i].intersects(window));
             if touches {
                 out.push(index.encode(&IndexSpace { cell, code }));
             }

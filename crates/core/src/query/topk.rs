@@ -106,9 +106,7 @@ pub(crate) fn top_k_search_traced(
         stats.io = stats.io.plus(&round.stats.io);
         if round.results.len() >= k || eps >= whole_space {
             let mut results = round.results;
-            results.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1).expect("no NaN distances").then(a.0.cmp(&b.0))
-            });
+            results.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             results.truncate(k);
             stats.results = results.len() as u64;
             stats.total_time = t_all.elapsed();

@@ -46,9 +46,9 @@ pub fn parse_rowkey(key: &[u8]) -> Option<(u8, u64, TrajectoryId)> {
     if key.len() != ROWKEY_LEN {
         return None;
     }
-    let shard = key[0];
-    let value = u64::from_be_bytes(key[1..9].try_into().expect("8 bytes"));
-    let tid = u64::from_be_bytes(key[9..17].try_into().expect("8 bytes"));
+    let shard = *key.first()?;
+    let value = u64::from_be_bytes(key.get(1..9)?.try_into().ok()?);
+    let tid = u64::from_be_bytes(key.get(9..17)?.try_into().ok()?);
     Some((shard, value, tid))
 }
 
@@ -111,7 +111,10 @@ impl RowValue {
         if buf.len() < 4 {
             return Err(CodecError::Truncated { context: "row value header" });
         }
-        let points_len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+        let header: [u8; 4] = buf[0..4]
+            .try_into()
+            .map_err(|_| CodecError::Truncated { context: "row value header" })?;
+        let points_len = u32::from_le_bytes(header) as usize;
         let rest = &buf[4..];
         if points_len > rest.len() {
             return Err(CodecError::Truncated { context: "row value points column" });

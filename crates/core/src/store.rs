@@ -202,7 +202,9 @@ impl TrajectoryStore {
                 crate::query::range::range_search_traced(self, &window, ctx)?
             }
         };
-        let trace = trace.expect("explain forces an enabled trace context");
+        let trace = trace.ok_or_else(|| KvError::Corruption {
+            context: "explain trace context produced no trace".into(),
+        })?;
         Ok(Explained { result, trace })
     }
 
@@ -280,10 +282,10 @@ impl TrajectoryStore {
     /// The current index value of a stored trajectory, if any.
     fn stored_value_of(&self, tid: TrajectoryId) -> Result<Option<u64>, KvError> {
         match self.id_index.get(&self.id_key(tid))? {
-            Some(bytes) if bytes.len() == 8 => {
-                Ok(Some(u64::from_le_bytes(bytes.as_ref().try_into().expect("8 bytes"))))
-            }
-            Some(_) => Err(KvError::Corruption { context: "id-index value size".into() }),
+            Some(bytes) => match <[u8; 8]>::try_from(bytes.as_ref()) {
+                Ok(raw) => Ok(Some(u64::from_le_bytes(raw))),
+                Err(_) => Err(KvError::Corruption { context: "id-index value size".into() }),
+            },
             None => Ok(None),
         }
     }

@@ -130,6 +130,9 @@ impl OrientedBox {
         for e in self.edges().iter() {
             for f in other_edges.iter() {
                 best = best.min(e.distance_to_segment(f));
+                // Early exit on an exact zero from the intersection test —
+                // distances are non-negative, so nothing can beat it.
+                // trass-lint: allow(float-eq)
                 if best == 0.0 {
                     return 0.0;
                 }

@@ -13,7 +13,7 @@ pub fn douglas_peucker(points: &[Point], theta: f64) -> Vec<u32> {
     assert!(!points.is_empty(), "Douglas-Peucker on empty point set");
     let n = points.len();
     if n <= 2 {
-        return (0..n as u32).collect();
+        return (0..u32::try_from(n).unwrap_or(u32::MAX)).collect();
     }
     let mut keep = vec![false; n];
     keep[0] = true;
@@ -39,7 +39,13 @@ pub fn douglas_peucker(points: &[Point], theta: f64) -> Vec<u32> {
             stack.push((best_idx, hi));
         }
     }
-    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i as u32)).collect()
+    // Trajectories are far below 2^32 points; saturate rather than wrap if
+    // one ever is not.
+    keep.iter()
+        .enumerate()
+        .filter(|&(_, &k)| k)
+        .map(|(i, _)| u32::try_from(i).unwrap_or(u32::MAX))
+        .collect()
 }
 
 #[cfg(test)]

@@ -19,6 +19,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Asserts an index invariant under `debug_assertions`, compiling to
+/// nothing in release builds.
+///
+/// Used at encode/decode boundaries to check bijectivity (`decode(encode(s))
+/// == s`) and at range construction to check monotonicity (`start <= end`)
+/// without taxing release-mode query latency.
+#[macro_export]
+macro_rules! debug_invariant {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        debug_assert!($cond $(, $($arg)+)?)
+    };
+}
+
 pub(crate) mod dp_lite;
 pub mod quad;
 pub mod ranges;

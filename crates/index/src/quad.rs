@@ -50,7 +50,7 @@ impl Cell {
     /// Side length of the cell in unit-space.
     #[inline]
     pub fn width(&self) -> f64 {
-        0.5f64.powi(self.level as i32)
+        0.5f64.powi(i32::from(self.level))
     }
 
     /// The cell containing the unit-space point `(px, py)` at `level`.
@@ -60,8 +60,12 @@ impl Cell {
         assert!(level <= MAX_RESOLUTION);
         let side = 1u64 << level;
         let clamp = |v: f64| -> u32 {
-            let i = (v * side as f64).floor();
-            (i.max(0.0) as u64).min(side - 1) as u32
+            // Float → grid truncation is the intended rounding here; the
+            // clamp saturates out-of-range input, and `side ≤ 2^30` keeps
+            // every grid index exact in f64 and within u32.
+            // trass-lint: allow(cast)
+            let i = (v * side as f64).floor().max(0.0) as u64;
+            u32::try_from(i.min(side - 1)).unwrap_or(u32::MAX)
         };
         Cell { x: clamp(px), y: clamp(py), level }
     }
@@ -69,8 +73,8 @@ impl Cell {
     /// The cell's spatial extent.
     pub fn mbr(&self) -> Mbr {
         let w = self.width();
-        let x0 = self.x as f64 * w;
-        let y0 = self.y as f64 * w;
+        let x0 = f64::from(self.x) * w;
+        let y0 = f64::from(self.y) * w;
         Mbr::new(x0, y0, x0 + w, y0 + w)
     }
 
@@ -78,8 +82,8 @@ impl Cell {
     /// the upper-right (§IV-B), possibly extending past the unit square.
     pub fn enlarged(&self) -> Mbr {
         let w = self.width();
-        let x0 = self.x as f64 * w;
-        let y0 = self.y as f64 * w;
+        let x0 = f64::from(self.x) * w;
+        let y0 = f64::from(self.y) * w;
         Mbr::new(x0, y0, x0 + 2.0 * w, y0 + 2.0 * w)
     }
 
@@ -87,7 +91,7 @@ impl Cell {
     #[inline]
     pub fn quadrant(&self) -> u8 {
         debug_assert!(self.level > 0, "root has no quadrant");
-        ((self.y & 1) << 1) as u8 | (self.x & 1) as u8
+        (u8::from(self.y & 1 != 0) << 1) | u8::from(self.x & 1 != 0)
     }
 
     /// Parent cell, or `None` for the root.
@@ -116,17 +120,17 @@ impl Cell {
     /// Child in the given quadrant (0–3).
     pub fn child(&self, quadrant: u8) -> Cell {
         debug_assert!(quadrant < 4);
-        self.children()[quadrant as usize]
+        self.children()[usize::from(quadrant)]
     }
 
     /// The quadrant sequence (digit string) identifying this cell from the
     /// root, most significant first. The root yields an empty sequence.
     pub fn sequence(&self) -> Vec<u8> {
-        let mut seq = Vec::with_capacity(self.level as usize);
+        let mut seq = Vec::with_capacity(usize::from(self.level));
         for depth in (0..self.level).rev() {
-            let xbit = (self.x >> depth) & 1;
-            let ybit = (self.y >> depth) & 1;
-            seq.push(((ybit << 1) | xbit) as u8);
+            let xbit = (self.x >> depth) & 1 != 0;
+            let ybit = (self.y >> depth) & 1 != 0;
+            seq.push((u8::from(ybit) << 1) | u8::from(xbit));
         }
         seq
     }
@@ -137,15 +141,15 @@ impl Cell {
     /// Panics on digits outside 0–3 or sequences longer than
     /// [`MAX_RESOLUTION`].
     pub fn from_sequence(seq: &[u8]) -> Cell {
-        assert!(seq.len() <= MAX_RESOLUTION as usize, "sequence too long");
+        assert!(seq.len() <= usize::from(MAX_RESOLUTION), "sequence too long");
         let mut x = 0u32;
         let mut y = 0u32;
         for &d in seq {
             assert!(d < 4, "invalid quadrant digit {d}");
-            x = (x << 1) | (d & 1) as u32;
-            y = (y << 1) | ((d >> 1) & 1) as u32;
+            x = (x << 1) | u32::from(d & 1);
+            y = (y << 1) | u32::from((d >> 1) & 1);
         }
-        Cell { x, y, level: seq.len() as u8 }
+        Cell { x, y, level: u8::try_from(seq.len()).unwrap_or(MAX_RESOLUTION) }
     }
 
     /// Convenience: the sequence rendered as a string like `"031"`.
@@ -166,14 +170,16 @@ pub fn sequence_length(mbr: &Mbr, g: u8) -> u8 {
         return g;
     }
     let l1 = (max_dim.ln() / 0.5f64.ln()).floor();
-    if l1 >= g as f64 {
+    if l1 >= f64::from(g) {
         return g;
     }
     if l1 < 0.0 {
         return 0;
     }
+    // In range [0, g) by the guards above, so the truncation is exact.
+    // trass-lint: allow(cast)
     let l1 = l1 as u8;
-    let w2 = 0.5f64.powi(l1 as i32 + 1);
+    let w2 = 0.5f64.powi(i32::from(l1) + 1);
     let fits = |min: f64, max: f64| max <= (min / w2).floor() * w2 + 2.0 * w2;
     if fits(mbr.min_x, mbr.max_x) && fits(mbr.min_y, mbr.max_y) {
         (l1 + 1).min(g)

@@ -63,19 +63,19 @@ impl<T> RTree<T> {
         }
         // STR: sort by center-x, slice into vertical strips, sort each
         // strip by center-y, pack runs of MAX_ENTRIES into leaves.
-        items.sort_by(|a, b| {
-            a.0.center().x.partial_cmp(&b.0.center().x).expect("finite coordinates")
-        });
+        items.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
         let n_leaves = len.div_ceil(MAX_ENTRIES);
-        let n_strips = (n_leaves as f64).sqrt().ceil() as usize;
+        // Smallest n_strips with n_strips² ≥ n_leaves (integer ceil-sqrt).
+        let mut n_strips = 1usize;
+        while n_strips * n_strips < n_leaves {
+            n_strips += 1;
+        }
         let strip_len = len.div_ceil(n_strips);
         let mut leaves: Vec<(Mbr, Box<Node<T>>)> = Vec::with_capacity(n_leaves);
         let mut items = items.into_iter().peekable();
         while items.peek().is_some() {
             let mut strip: Vec<(Mbr, T)> = (&mut items).take(strip_len).collect();
-            strip.sort_by(|a, b| {
-                a.0.center().y.partial_cmp(&b.0.center().y).expect("finite coordinates")
-            });
+            strip.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
             let mut strip = strip.into_iter().peekable();
             while strip.peek().is_some() {
                 let entries: Vec<(Mbr, T)> = (&mut strip).take(MAX_ENTRIES).collect();
@@ -99,8 +99,10 @@ impl<T> RTree<T> {
             level = next;
             height += 1;
         }
-        let root = *level.into_iter().next().expect("non-empty").1;
-        RTree { root, len, height }
+        let Some((_, root)) = level.into_iter().next() else {
+            unreachable!("the packing loop always leaves exactly one node")
+        };
+        RTree { root: *root, len, height }
     }
 
     /// Number of stored items.
@@ -152,7 +154,7 @@ impl<T> RTree<T> {
         }
         impl Ord for HeapDist {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).expect("distances are never NaN")
+                self.0.total_cmp(&other.0)
             }
         }
         enum Candidate<'a, T> {
@@ -254,12 +256,10 @@ fn insert_rec<T>(node: &mut Node<T>, mbr: Mbr, item: T) -> Option<(Node<T>, Node
                 .min_by(|(_, (m1, _)), (_, (m2, _))| {
                     let e1 = m1.union(&mbr).area() - m1.area();
                     let e2 = m2.union(&mbr).area() - m2.area();
-                    e1.partial_cmp(&e2)
-                        .expect("finite areas")
-                        .then(m1.area().partial_cmp(&m2.area()).expect("finite areas"))
+                    e1.total_cmp(&e2).then(m1.area().total_cmp(&m2.area()))
                 })
-                .map(|(i, _)| i)
-                .expect("inner nodes are never empty");
+                .map(|(i, _)| i);
+            let Some(best) = best else { unreachable!("inner nodes are never empty") };
             let split = insert_rec(&mut children[best].1, mbr, item);
             children[best].0 = children[best].1.mbr();
             if let Some((left, right)) = split {

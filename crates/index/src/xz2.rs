@@ -42,7 +42,7 @@ impl Xz2 {
     /// (including itself): `(4^{r−l+1} − 1) / 3`.
     pub fn subtree_size(&self, level: u8) -> u64 {
         debug_assert!(level <= self.max_resolution);
-        (4u64.pow((self.max_resolution - level + 1) as u32) - 1) / 3
+        (4u64.pow(u32::from(self.max_resolution - level + 1)) - 1) / 3
     }
 
     /// Total number of element codes (the whole tree, root included).
@@ -62,8 +62,8 @@ impl Xz2 {
     /// `c + 1 + q · subtree_size(l+1)`.
     pub fn encode(&self, cell: &Cell) -> u64 {
         let mut code = 0u64;
-        for (i, &digit) in cell.sequence().iter().enumerate() {
-            code += 1 + digit as u64 * self.subtree_size(i as u8 + 1);
+        for (depth, &digit) in (1u8..).zip(cell.sequence().iter()) {
+            code += 1 + u64::from(digit) * self.subtree_size(depth);
         }
         code
     }
@@ -80,7 +80,7 @@ impl Xz2 {
             let child_size = self.subtree_size(cell.level + 1);
             let q = rem / child_size;
             debug_assert!(q < 4);
-            cell = cell.child(q as u8);
+            cell = cell.child(u8::try_from(q & 3).unwrap_or(0));
             rem %= child_size;
         }
         Some(cell)

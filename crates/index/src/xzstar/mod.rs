@@ -77,8 +77,8 @@ impl XzStar {
     /// a, b, c, d order.
     pub fn quad_rects(cell: &Cell) -> [Mbr; 4] {
         let w = cell.width();
-        let x0 = cell.x as f64 * w;
-        let y0 = cell.y as f64 * w;
+        let x0 = f64::from(cell.x) * w;
+        let y0 = f64::from(cell.y) * w;
         [
             Mbr::new(x0, y0, x0 + w, y0 + w),                     // a
             Mbr::new(x0 + w, y0, x0 + 2.0 * w, y0 + w),           // b
@@ -93,12 +93,12 @@ impl XzStar {
     /// `fits` predicate of [`XzStar::sequence_length`].
     pub fn touched_quads(cell: &Cell, points: &[Point]) -> QuadSet {
         let w = cell.width();
-        let split_x = cell.x as f64 * w + w;
-        let split_y = cell.y as f64 * w + w;
+        let split_x = f64::from(cell.x) * w + w;
+        let split_y = f64::from(cell.y) * w + w;
         let mut set = QuadSet::EMPTY;
         for p in points {
-            let qx = (p.x >= split_x) as u8;
-            let qy = (p.y >= split_y) as u8;
+            let qx = u8::from(p.x >= split_x);
+            let qy = u8::from(p.y >= split_y);
             set = set.union(QuadSet(1 << ((qy << 1) | qx)));
             if set == QuadSet::ALL {
                 break;
@@ -113,7 +113,9 @@ impl XzStar {
     /// Panics if `points` is empty.
     pub fn index_points(&self, points: &[Point]) -> IndexSpace {
         assert!(!points.is_empty(), "cannot index an empty trajectory");
-        let mbr = Mbr::from_points(points.iter()).expect("non-empty");
+        let Some(mbr) = Mbr::from_points(points.iter()) else {
+            unreachable!("asserted non-empty just above")
+        };
         let mut cell = self.anchor_cell(&mbr);
         loop {
             let set = Self::touched_quads(&cell, points);
@@ -137,7 +139,7 @@ impl XzStar {
     /// `1 ≤ l ≤ r`).
     pub fn n_is(&self, l: u8) -> u64 {
         debug_assert!(l >= 1 && l <= self.max_resolution);
-        13 * 4u64.pow((self.max_resolution - l) as u32) - 3
+        13 * 4u64.pow(u32::from(self.max_resolution - l)) - 3
     }
 
     /// First value of the reserved block for root-level (sequence length 0)
@@ -148,7 +150,7 @@ impl XzStar {
 
     /// Total number of index values, including the root block.
     pub fn total_values(&self) -> u64 {
-        self.root_block_start() + PositionCode::REGULAR_COUNT as u64
+        self.root_block_start() + u64::from(PositionCode::REGULAR_COUNT)
     }
 
     /// The contiguous value range `[start, end]` covering *every* index
@@ -159,11 +161,10 @@ impl XzStar {
         if cell.level == 0 {
             return (0, self.total_values() - 1);
         }
-        let start = self.encode(&IndexSpace {
-            cell: *cell,
-            code: PositionCode::new(1).expect("code 1 always valid"),
-        });
-        (start, start + self.n_is(cell.level) - 1)
+        let start = self.encode(&IndexSpace { cell: *cell, code: PositionCode::P1 });
+        let end = start + self.n_is(cell.level) - 1;
+        crate::debug_invariant!(start <= end, "subtree range must be non-empty");
+        (start, end)
     }
 
     /// Definition 5: the index value `V(s, p)`.
@@ -175,17 +176,27 @@ impl XzStar {
     /// reserved block after all regular values.
     pub fn encode(&self, space: &IndexSpace) -> u64 {
         let l = space.cell.level;
-        let p = space.code.0 as u64;
+        let p = u64::from(space.code.0);
         if l == 0 {
             debug_assert!(p <= 9, "code 10 never occurs at the root (r >= 1)");
-            return self.root_block_start() + p - 1;
+            let v = self.root_block_start() + p - 1;
+            crate::debug_invariant!(
+                self.decode(v).as_ref() == Some(space),
+                "encode/decode bijectivity violated for root value {v}"
+            );
+            return v;
         }
         debug_assert!(p <= 9 || l == self.max_resolution, "code 10 only at max resolution");
         let mut v = 0u64;
-        for (i, &digit) in space.cell.sequence().iter().enumerate() {
-            v += digit as u64 * self.n_is(i as u8 + 1);
+        for (depth, &digit) in (1u8..).zip(space.cell.sequence().iter()) {
+            v += u64::from(digit) * self.n_is(depth);
         }
-        v + 9 * (l as u64 - 1) + p - 1
+        let v = v + 9 * (u64::from(l) - 1) + p - 1;
+        crate::debug_invariant!(
+            self.decode(v).as_ref() == Some(space),
+            "encode/decode bijectivity violated for value {v}"
+        );
+        v
     }
 
     /// Inverse of [`XzStar::encode`].
@@ -198,7 +209,7 @@ impl XzStar {
             }
             return Some(IndexSpace {
                 cell: Cell::ROOT,
-                code: PositionCode::new(p as u8).expect("1..=9"),
+                code: PositionCode::new(u8::try_from(p).ok()?)?,
             });
         }
         let mut cell = Cell::ROOT;
@@ -206,19 +217,25 @@ impl XzStar {
         // Descend from the root: the root has no own codes in the regular
         // block, so the first step always picks a level-1 child.
         let n1 = self.n_is(1);
-        cell = cell.child((rem / n1) as u8);
+        cell = cell.child(u8::try_from(rem / n1).ok()?);
         rem %= n1;
         loop {
             if cell.level == self.max_resolution {
                 debug_assert!(rem < 10);
-                return Some(IndexSpace { cell, code: PositionCode::new(rem as u8 + 1)? });
+                return Some(IndexSpace {
+                    cell,
+                    code: PositionCode::new(u8::try_from(rem).ok()? + 1)?,
+                });
             }
             if rem < 9 {
-                return Some(IndexSpace { cell, code: PositionCode::new(rem as u8 + 1)? });
+                return Some(IndexSpace {
+                    cell,
+                    code: PositionCode::new(u8::try_from(rem).ok()? + 1)?,
+                });
             }
             rem -= 9;
             let n_child = self.n_is(cell.level + 1);
-            cell = cell.child((rem / n_child) as u8);
+            cell = cell.child(u8::try_from(rem / n_child).ok()?);
             rem %= n_child;
         }
     }

@@ -117,6 +117,9 @@ pub const CODE_SETS: [QuadSet; 10] = [
 ];
 
 impl PositionCode {
+    /// Code 1 (`{a, b}`), the first code of every element — the anchor of
+    /// subtree value ranges.
+    pub const P1: PositionCode = PositionCode(1);
     /// Number of codes available below the maximum resolution.
     pub const REGULAR_COUNT: u8 = 9;
     /// Number of codes at the maximum resolution (code 10 = `{a}` appears
@@ -130,12 +133,16 @@ impl PositionCode {
 
     /// The sub-quad combination this code denotes.
     pub fn quads(self) -> QuadSet {
-        CODE_SETS[(self.0 - 1) as usize]
+        CODE_SETS[usize::from(self.0.saturating_sub(1)).min(CODE_SETS.len() - 1)]
     }
 
     /// The code for a quad set, if it is one of the ten feasible sets.
     pub fn from_quads(set: QuadSet) -> Option<PositionCode> {
-        CODE_SETS.iter().position(|&s| s == set).map(|i| PositionCode(i as u8 + 1))
+        CODE_SETS
+            .iter()
+            .position(|&s| s == set)
+            .and_then(|i| u8::try_from(i).ok())
+            .map(|i| PositionCode(i + 1))
     }
 
     /// Whether a quad set is feasible: it must intersect the left column
@@ -165,7 +172,8 @@ pub fn surviving_codes(far: QuadSet, at_max_resolution: bool) -> Vec<PositionCod
 /// assuming trajectories uniform across the ten index spaces.
 pub fn io_reduction(far: QuadSet) -> f64 {
     let surviving = surviving_codes(far, true).len();
-    (10 - surviving) as f64 / 10.0
+    // At most 10 codes exist, so the count always fits losslessly.
+    f64::from(10 - u8::try_from(surviving.min(10)).unwrap_or(10)) / 10.0
 }
 
 #[cfg(test)]

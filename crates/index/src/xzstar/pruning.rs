@@ -95,13 +95,15 @@ impl QueryContext {
     pub fn new(index: &XzStar, points: Vec<Point>, eps: f64) -> Self {
         assert!(!points.is_empty(), "empty query trajectory");
         assert!(eps >= 0.0, "negative or NaN threshold");
-        let mbr = Mbr::from_points(points.iter()).expect("non-empty");
+        let Some(mbr) = Mbr::from_points(points.iter()) else {
+            unreachable!("asserted non-empty just above")
+        };
         let ext_mbr = mbr.extended(eps);
         let min_r = index.sequence_length(&ext_mbr);
         let max_r = max_resolution_bound(index, &mbr, eps);
         // Tolerance floor at a quarter of the finest cell: finer boxes buy
         // no pruning power and explode the box count for tiny ε.
-        let theta = (eps / 4.0).max(0.5f64.powi(index.max_resolution() as i32) / 4.0);
+        let theta = (eps / 4.0).max(0.5f64.powi(i32::from(index.max_resolution())) / 4.0);
         let cover_boxes = cover_boxes(&points, theta);
         QueryContext { mbr, ext_mbr, points, eps, min_r, max_r, cover_boxes }
     }
@@ -117,7 +119,7 @@ pub(crate) fn cover_boxes(points: &[Point], theta: f64) -> Vec<OrientedBox> {
     let rep = crate::dp_lite::douglas_peucker(points, theta.max(1e-12));
     let mut boxes = Vec::with_capacity(rep.len().saturating_sub(1));
     for w in rep.windows(2) {
-        let (s, e) = (w[0] as usize, w[1] as usize);
+        let (s, e) = (w[0] as usize, w[1] as usize); // trass-lint: allow(cast) u32 → usize widening
         if let Some(b) = OrientedBox::from_points_along(points[s], points[e], &points[s..=e]) {
             boxes.push(b);
         }
@@ -154,14 +156,16 @@ pub(crate) fn max_resolution_bound(index: &XzStar, query_mbr: &Mbr, eps: f64) ->
     if max_r < 0.0 {
         return 0;
     }
-    if max_r >= r as f64 {
+    if max_r >= f64::from(r) {
         return r;
     }
-    // Guard the floating-point floor against boundary error.
+    // Guard the floating-point floor against boundary error. The float is
+    // in [0, r) here, so the truncating casts below are exact.
+    // trass-lint: allow(cast)
     while max_r > 0.0 && 0.5f64.powi(max_r as i32) < t {
         max_r -= 1.0;
     }
-    max_r as u8
+    max_r as u8 // trass-lint: allow(cast)
 }
 
 /// Definition 10: `minDistEE` — the largest, over the four edges of the
@@ -296,7 +300,7 @@ impl<'a> GlobalPruning<'a> {
                 queue.extend(cell.children());
             }
         }
-        stats.codes_emitted += out.len() as u64;
+        stats.codes_emitted += u64::try_from(out.len()).unwrap_or(u64::MAX);
         (out, spill)
     }
 
@@ -331,7 +335,7 @@ impl<'a> GlobalPruning<'a> {
                     let is_rects: Vec<Mbr> = code
                         .quads()
                         .iter()
-                        .map(|s| rects[s.quad_index().expect("singleton")])
+                        .filter_map(|s| s.quad_index().map(|i| rects[i]))
                         .collect();
                     if min_dist_is(&q.mbr, &is_rects) > q.eps + PRUNE_SLACK {
                         stats.lemma11_codes_pruned += 1;

@@ -30,7 +30,7 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -67,12 +67,14 @@ impl<'a> BestFirst<'a> {
     /// Panics if `points` is empty.
     pub fn new(index: &'a XzStar, points: Vec<Point>) -> Self {
         assert!(!points.is_empty(), "empty query trajectory");
-        let q_mbr = Mbr::from_points(points.iter()).expect("non-empty");
+        let Some(q_mbr) = Mbr::from_points(points.iter()) else {
+            unreachable!("asserted non-empty just above")
+        };
         let mut eq = BinaryHeap::new();
         eq.push(Reverse((OrdF64(min_dist_ee(&q_mbr, &Cell::ROOT.enlarged())), Cell::ROOT)));
         // Coarse covering boxes: a quarter of the finest cell is the
         // tightest tolerance that can ever matter for quad pruning.
-        let boxes = cover_boxes(&points, 0.5f64.powi(index.max_resolution() as i32) / 4.0);
+        let boxes = cover_boxes(&points, 0.5f64.powi(i32::from(index.max_resolution())) / 4.0);
         BestFirst { index, q_mbr, points, boxes, eq, iq: BinaryHeap::new() }
     }
 
@@ -115,7 +117,9 @@ impl<'a> BestFirst<'a> {
                 self.iq.clear();
                 return None;
             }
-            let space = self.index.decode(value).expect("queued values decode");
+            // Every queued value came from `encode` in `expand`, so decode
+            // cannot fail; a corrupt value would only drop a candidate.
+            let Some(space) = self.index.decode(value) else { continue };
             // ε may have tightened since this space was queued; re-check
             // the resolution band (Lemmas 6–7 at the current ε).
             if space.cell.level < min_r || space.cell.level > max_r {
@@ -140,11 +144,8 @@ impl<'a> BestFirst<'a> {
                 if code.quads().intersects(far) {
                     continue;
                 }
-                let is_rects: Vec<Mbr> = code
-                    .quads()
-                    .iter()
-                    .map(|s| rects[s.quad_index().expect("singleton")])
-                    .collect();
+                let is_rects: Vec<Mbr> =
+                    code.quads().iter().filter_map(|s| s.quad_index().map(|i| rects[i])).collect();
                 let dist = min_dist_is(&self.q_mbr, &is_rects);
                 if dist <= eps {
                     let value = self.index.encode(&IndexSpace { cell, code });

@@ -100,13 +100,13 @@ impl Block {
         if buf.len() < 8 {
             return Err(KvError::corruption("block shorter than trailer"));
         }
-        let (body, trailer) = buf.split_at(buf.len() - 4);
-        let stored_crc = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let (body, _) = buf.split_at(buf.len() - 4);
+        let stored_crc = crate::codec::u32_le(buf, buf.len() - 4, "block trailer")?;
         if crc32c(body) != stored_crc {
             return Err(KvError::corruption("block checksum mismatch"));
         }
-        let (payload, count_bytes) = body.split_at(body.len() - 4);
-        let n_entries = u32::from_le_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
+        let (payload, _) = body.split_at(body.len() - 4);
+        let n_entries = crate::codec::u32_le(body, body.len() - 4, "block entry count")? as usize;
 
         let mut entries = Vec::with_capacity(n_entries);
         let mut pos = 0usize;
@@ -115,10 +115,8 @@ impl Block {
                 return Err(KvError::corruption("block entry header truncated"));
             }
             let flag = payload[pos];
-            let klen =
-                u32::from_le_bytes(payload[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
-            let vlen =
-                u32::from_le_bytes(payload[pos + 5..pos + 9].try_into().expect("4 bytes")) as usize;
+            let klen = crate::codec::u32_le(payload, pos + 1, "block entry klen")? as usize;
+            let vlen = crate::codec::u32_le(payload, pos + 5, "block entry vlen")? as usize;
             pos += 9;
             let end = pos
                 .checked_add(klen)

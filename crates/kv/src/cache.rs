@@ -83,14 +83,11 @@ impl BlockCache {
         while inner.bytes > inner.capacity {
             // Evict the stalest entry. Linear scan keeps the structure
             // simple; block counts are small (capacity / block_size).
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, _, stamp))| *stamp)
-                .map(|(k, _)| *k)
-                .expect("bytes > 0 implies entries exist");
-            let (_, freed, _) = inner.map.remove(&victim).expect("victim exists");
-            inner.bytes -= freed;
+            let victim = inner.map.iter().min_by_key(|(_, (_, _, stamp))| *stamp).map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some((_, freed, _)) = inner.map.remove(&victim) {
+                inner.bytes -= freed;
+            }
         }
     }
 

@@ -205,10 +205,15 @@ impl Cluster {
                     })
                     .collect();
                 for h in handles {
-                    results.push(h.join().expect("region scan thread panicked"));
+                    match h.join() {
+                        Ok(r) => results.push(r),
+                        // A panicked scan thread must not be swallowed into
+                        // a store error: re-raise it on the caller.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
             })
-            .expect("scan scope panicked");
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
             let mut out = Vec::new();
             for r in results {
                 out.extend(r?);

@@ -28,6 +28,7 @@ pub mod block;
 pub mod bloom;
 pub mod cache;
 pub mod cluster;
+mod codec;
 pub mod crc;
 mod error;
 pub mod filter;

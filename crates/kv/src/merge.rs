@@ -67,22 +67,17 @@ impl Iterator for MergeIter<'_> {
             return Some(Err(e));
         }
         // Find the smallest key; ties resolved to the newest source.
-        let mut winner: Option<usize> = None;
+        let mut winner: Option<(usize, &[u8])> = None;
         for (i, head) in self.heads.iter().enumerate() {
             if let Some((key, _)) = head {
                 match winner {
-                    None => winner = Some(i),
-                    Some(w) => {
-                        let (wkey, _) = self.heads[w].as_ref().expect("winner has head");
-                        if key < wkey {
-                            winner = Some(i);
-                        }
-                    }
+                    Some((_, wkey)) if key.as_ref() >= wkey => {}
+                    _ => winner = Some((i, key.as_ref())),
                 }
             }
         }
-        let w = winner?;
-        let (key, value) = self.heads[w].take().expect("winner has head");
+        let w = winner?.0;
+        let (key, value) = self.heads[w].take()?;
         // Advance the winner and every older source holding the same key.
         for i in 0..self.heads.len() {
             let same = match &self.heads[i] {

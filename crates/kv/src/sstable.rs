@@ -60,9 +60,13 @@ impl SsData {
                 Ok(b[start..end].to_vec())
             }
             SsData::File(f) => {
+                // The guard *is* the file handle: seek+read must be one
+                // atomic unit per reader, and this mutex serialises only
+                // this table's handle, never the store lock.
                 let mut guard = f.lock();
                 guard.seek(SeekFrom::Start(offset))?;
                 let mut buf = vec![0u8; len];
+                // trass-lint: allow(lock-across-io)
                 guard.read_exact(&mut buf)?;
                 Ok(buf)
             }
@@ -250,12 +254,11 @@ impl SsTable {
             return Err(KvError::corruption("sstable shorter than footer"));
         }
         let footer = data.read_at(total - FOOTER_LEN as u64, FOOTER_LEN)?;
-        let u64_at =
-            |i: usize| u64::from_le_bytes(footer[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
-        let (index_off, index_len) = (u64_at(0), u64_at(1));
-        let (bloom_off, bloom_len) = (u64_at(2), u64_at(3));
-        let n_entries = u64_at(4);
-        if u64_at(5) != MAGIC {
+        let u64_at = |i: usize| crate::codec::u64_le(&footer, i * 8, "sstable footer");
+        let (index_off, index_len) = (u64_at(0)?, u64_at(1)?);
+        let (bloom_off, bloom_len) = (u64_at(2)?, u64_at(3)?);
+        let n_entries = u64_at(4)?;
+        if u64_at(5)? != MAGIC {
             return Err(KvError::corruption("sstable bad magic"));
         }
         if index_off.checked_add(index_len).is_none_or(|e| e > total)
@@ -269,28 +272,28 @@ impl SsTable {
         if index_buf.len() < 8 {
             return Err(KvError::corruption("sstable index truncated"));
         }
-        let (body, crc_bytes) = index_buf.split_at(index_buf.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let (body, _) = index_buf.split_at(index_buf.len() - 4);
+        let stored = crate::codec::u32_le(&index_buf, index_buf.len() - 4, "sstable index crc")?;
         if crc32c(body) != stored {
             return Err(KvError::corruption("sstable index checksum mismatch"));
         }
-        let n_blocks = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+        let n_blocks = crate::codec::u32_le(body, 0, "sstable index count")? as usize;
         let mut index = Vec::with_capacity(n_blocks);
         let mut pos = 4usize;
         for _ in 0..n_blocks {
             if pos + 4 > body.len() {
                 return Err(KvError::corruption("sstable index entry truncated"));
             }
-            let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let klen = crate::codec::u32_le(body, pos, "sstable index klen")? as usize;
             pos += 4;
             if pos + klen + 12 > body.len() {
                 return Err(KvError::corruption("sstable index entry truncated"));
             }
             let last_key = Bytes::copy_from_slice(&body[pos..pos + klen]);
             pos += klen;
-            let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8 bytes"));
+            let offset = crate::codec::u64_le(body, pos, "sstable index offset")?;
             pos += 8;
-            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes"));
+            let len = crate::codec::u32_le(body, pos, "sstable index block len")?;
             pos += 4;
             index.push(IndexEntry { last_key, offset, len });
         }
@@ -303,8 +306,9 @@ impl SsTable {
         if bloom_buf.len() < 4 {
             return Err(KvError::corruption("sstable bloom section truncated"));
         }
-        let (bloom_body, bloom_crc_bytes) = bloom_buf.split_at(bloom_buf.len() - 4);
-        let bloom_stored = u32::from_le_bytes(bloom_crc_bytes.try_into().expect("4 bytes"));
+        let (bloom_body, _) = bloom_buf.split_at(bloom_buf.len() - 4);
+        let bloom_stored =
+            crate::codec::u32_le(&bloom_buf, bloom_buf.len() - 4, "sstable bloom crc")?;
         if crc32c(bloom_body) != bloom_stored {
             return Err(KvError::corruption("sstable bloom checksum mismatch"));
         }
@@ -312,13 +316,13 @@ impl SsTable {
             .ok_or_else(|| KvError::corruption("sstable bloom filter invalid"))?;
 
         // Min key: first key of first block (decode it once at open).
-        let (min_key, max_key) = if index.is_empty() {
-            (Bytes::new(), Bytes::new())
-        } else {
-            let first = &index[0];
-            let block = Block::decode(&data.read_at(first.offset, first.len as usize)?)?;
-            let min = block.entries().first().map(|e| e.key.clone()).unwrap_or_default();
-            (min, index.last().expect("non-empty").last_key.clone())
+        let (min_key, max_key) = match (index.first(), index.last()) {
+            (Some(first), Some(last)) => {
+                let block = Block::decode(&data.read_at(first.offset, first.len as usize)?)?;
+                let min = block.entries().first().map(|e| e.key.clone()).unwrap_or_default();
+                (min, last.last_key.clone())
+            }
+            _ => (Bytes::new(), Bytes::new()),
         };
 
         Ok(Arc::new(SsTable {

@@ -109,8 +109,8 @@ impl Wal {
             if pos + 8 > buf.len() {
                 break; // torn length/crc header
             }
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let len = crate::codec::u32_le(&buf, pos, "WAL record length")? as usize;
+            let crc = crate::codec::u32_le(&buf, pos + 4, "WAL record checksum")?;
             let body_start = pos + 8;
             let body_end = match body_start.checked_add(len) {
                 Some(e) if e <= buf.len() => e,
@@ -129,7 +129,7 @@ impl Wal {
                 return Err(KvError::corruption("WAL record too short"));
             }
             let rtype = body[0];
-            let klen = u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")) as usize;
+            let klen = crate::codec::u32_le(body, 1, "WAL key length")? as usize;
             if 5 + klen > body.len() {
                 return Err(KvError::corruption("WAL key length out of range"));
             }

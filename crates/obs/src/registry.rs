@@ -105,7 +105,7 @@ impl Registry {
     /// Gets or creates a counter.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let key = key_of(name, labels);
-        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match metrics.entry(key).or_insert_with(|| Metric::Counter(Arc::new(Counter::default()))) {
             Metric::Counter(c) => Arc::clone(c),
             other => panic!("metric {name} already registered as {}", kind_name(other)),
@@ -115,7 +115,7 @@ impl Registry {
     /// Gets or creates a gauge.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let key = key_of(name, labels);
-        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match metrics.entry(key).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default()))) {
             Metric::Gauge(g) => Arc::clone(g),
             other => panic!("metric {name} already registered as {}", kind_name(other)),
@@ -136,7 +136,7 @@ impl Registry {
 
     fn histogram_scaled(&self, name: &str, labels: &[(&str, &str)], scale: f64) -> Arc<Histogram> {
         let key = key_of(name, labels);
-        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match metrics
             .entry(key)
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::with_scale(scale))))
@@ -148,7 +148,7 @@ impl Registry {
 
     /// Number of registered metrics (all kinds).
     pub fn len(&self) -> usize {
-        self.metrics.lock().expect("registry poisoned").len()
+        self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// True when nothing is registered.
@@ -158,7 +158,7 @@ impl Registry {
 
     /// A sorted copy of the current metrics, for exporters.
     pub(crate) fn sorted_entries(&self) -> Vec<(MetricKey, Metric)> {
-        let metrics = self.metrics.lock().expect("registry poisoned");
+        let metrics = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut entries: Vec<(MetricKey, Metric)> =
             metrics.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));

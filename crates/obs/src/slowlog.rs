@@ -42,11 +42,11 @@ impl<T: Clone> SlowLog<T> {
         if self.full.load(Ordering::Acquire) && key <= self.min_key.load(Ordering::Acquire) {
             return;
         }
-        let mut entries = self.entries.lock().expect("slowlog poisoned");
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if entries.len() < self.capacity {
             entries.push((key, item));
             if entries.len() == self.capacity {
-                let min = entries.iter().map(|(k, _)| *k).min().expect("capacity >= 1");
+                let min = entries.iter().map(|(k, _)| *k).min().unwrap_or(0);
                 self.min_key.store(min, Ordering::Release);
                 self.full.store(true, Ordering::Release);
             }
@@ -54,29 +54,29 @@ impl<T: Clone> SlowLog<T> {
         }
         // Replace the current minimum if this item beats it, then recache
         // the new minimum.
-        let (min_idx, min_key) = entries
-            .iter()
-            .enumerate()
-            .map(|(i, (k, _))| (i, *k))
-            .min_by_key(|&(_, k)| k)
-            .expect("capacity >= 1");
+        let Some((min_idx, min_key)) =
+            entries.iter().enumerate().map(|(i, (k, _))| (i, *k)).min_by_key(|&(_, k)| k)
+        else {
+            return; // capacity 0: retain nothing
+        };
         if key > min_key {
             entries[min_idx] = (key, item);
-            let min = entries.iter().map(|(k, _)| *k).min().expect("capacity >= 1");
+            let min = entries.iter().map(|(k, _)| *k).min().unwrap_or(0);
             self.min_key.store(min, Ordering::Release);
         }
     }
 
     /// The retained items, slowest first.
     pub fn snapshot(&self) -> Vec<(u64, T)> {
-        let mut out = self.entries.lock().expect("slowlog poisoned").clone();
+        let mut out =
+            self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         out.sort_by_key(|e| std::cmp::Reverse(e.0));
         out
     }
 
     /// Number of retained items.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("slowlog poisoned").len()
+        self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// True when nothing has been recorded.
@@ -91,7 +91,7 @@ impl<T: Clone> SlowLog<T> {
 
     /// Clears the log.
     pub fn clear(&self) {
-        let mut entries = self.entries.lock().expect("slowlog poisoned");
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         entries.clear();
         self.full.store(false, Ordering::Release);
         self.min_key.store(0, Ordering::Release);
@@ -101,7 +101,10 @@ impl<T: Clone> SlowLog<T> {
 impl<T> std::fmt::Debug for SlowLog<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SlowLog")
-            .field("len", &self.entries.lock().expect("slowlog poisoned").len())
+            .field(
+                "len",
+                &self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len(),
+            )
             .field("capacity", &self.capacity)
             .finish()
     }

@@ -210,7 +210,9 @@ impl TraceCtx {
     /// for a disabled context or when no root span was recorded.
     pub fn finish(self) -> Option<QueryTrace> {
         let inner = self.0?;
-        let flats = std::mem::take(&mut *inner.spans.lock().expect("trace poisoned"));
+        let flats = std::mem::take(
+            &mut *inner.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         assemble(flats).map(|root| QueryTrace { root })
     }
 }
@@ -376,7 +378,7 @@ fn record_state(s: SpanState) -> Duration {
         start_ns: s.start_ns,
         duration_ns: recorded.as_nanos() as u64,
     };
-    s.ctx.spans.lock().expect("trace poisoned").push(flat);
+    s.ctx.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(flat);
     elapsed
 }
 
@@ -519,7 +521,7 @@ impl FlightRecorder {
 
     /// Appends a trace, evicting the oldest past capacity.
     pub fn push(&self, trace: Arc<QueryTrace>) {
-        let mut traces = self.traces.lock().expect("flight recorder poisoned");
+        let mut traces = self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if traces.len() == self.capacity {
             traces.pop_front();
         }
@@ -528,12 +530,17 @@ impl FlightRecorder {
 
     /// The retained traces, oldest first.
     pub fn snapshot(&self) -> Vec<Arc<QueryTrace>> {
-        self.traces.lock().expect("flight recorder poisoned").iter().cloned().collect()
+        self.traces
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of retained traces.
     pub fn len(&self) -> usize {
-        self.traces.lock().expect("flight recorder poisoned").len()
+        self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// True when no trace has been recorded.
@@ -548,7 +555,7 @@ impl FlightRecorder {
 
     /// Drops every retained trace.
     pub fn clear(&self) {
-        self.traces.lock().expect("flight recorder poisoned").clear();
+        self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 }
 
