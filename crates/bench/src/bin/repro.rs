@@ -15,6 +15,7 @@
 //!   io      theoretical 83.6 % + measured I/O reduction vs XZ-Ordering
 //!   obs     observability demo: Prometheus + JSON dump, slow-query log
 //!   explain EXPLAIN ANALYZE demo: per-query trace trees, text + JSON
+//!   bench   CI perf-regression gate (flags: --quick --update-baseline)
 //!   all     everything, in order
 //! ```
 //!
@@ -26,10 +27,22 @@ use trass_bench::experiments;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: repro <fig9|fig10|fig11|fig12|fig13|fig14|fig17|fig18|fig19|fig20|io|ablation|obs|explain|all>");
+        eprintln!("usage: repro <fig9|fig10|fig11|fig12|fig13|fig14|fig17|fig18|fig19|fig20|io|ablation|obs|explain|bench|all>");
         std::process::exit(2);
     });
     match arg.as_str() {
+        "bench" => {
+            let flags: Vec<String> = std::env::args().skip(2).collect();
+            for f in &flags {
+                if f != "--quick" && f != "--update-baseline" {
+                    eprintln!("usage: repro bench [--quick] [--update-baseline]");
+                    std::process::exit(2);
+                }
+            }
+            let quick = flags.iter().any(|f| f == "--quick");
+            let update = flags.iter().any(|f| f == "--update-baseline");
+            return experiments::bench_gate::run(quick, update);
+        }
         "fig9" => experiments::fig09_threshold::run(),
         "fig10" => experiments::fig10_topk::run(),
         "fig11" => experiments::fig11_pruning::run(),

@@ -1,0 +1,377 @@
+//! The CI perf-regression gate (`repro bench`).
+//!
+//! Runs two pinned workloads — threshold search and top-k search over a
+//! fixed-seed T-Drive-like dataset — once sequentially (`query_threads =
+//! 1`) and once at the gate's thread budget (4), writes the numbers to
+//! `BENCH_ci.json`, and fails (exit 1) when a workload's parallel p50
+//! regressed more than the tolerance against the checked-in
+//! `bench/baseline.json`.
+//!
+//! Knobs:
+//!
+//! * `--quick` shrinks the dataset and query batch to CI size.
+//! * `--update-baseline` rewrites `bench/baseline.json` from this run
+//!   instead of gating (use after intentional perf changes, on the same
+//!   class of machine CI uses).
+//! * `TRASS_BENCH_TOLERANCE` overrides the allowed fractional regression
+//!   (default `0.25`, i.e. fail past +25 %).
+//!
+//! The gate compares wall-clock medians, so the baseline is only
+//! meaningful on comparable hardware; refresh it with `--update-baseline`
+//! whenever the CI runner class or an intentional perf change lands.
+//! The JSON here is written and parsed by hand: the gate's file format is
+//! a deliberately flat `"key": number` map so the comparison logic cannot
+//! drift from what the artifact holds.
+
+use crate::harness;
+use std::time::Duration;
+use trass_core::config::TrassConfig;
+use trass_core::store::TrajectoryStore;
+use trass_traj::{Measure, Trajectory};
+
+/// Where the gate reads its reference numbers.
+pub const BASELINE_PATH: &str = "bench/baseline.json";
+/// Where the gate writes this run's numbers (uploaded as a CI artifact).
+pub const OUTPUT_PATH: &str = "BENCH_ci.json";
+/// Allowed fractional p50 regression before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+/// Thread budget of the parallel (gated) runs.
+pub const GATE_THREADS: usize = 4;
+
+/// Fixed dataset seed — the workloads are pinned, independent of
+/// `TRASS_REPRO_SCALE` / `TRASS_REPRO_QUERIES`.
+const SEED: u64 = 4242;
+
+/// One workload's measured numbers.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Workload name (`"threshold"` / `"topk"`).
+    pub name: &'static str,
+    /// Median query time at [`GATE_THREADS`] — the gated number.
+    pub p50: Duration,
+    /// p99 query time at [`GATE_THREADS`].
+    pub p99: Duration,
+    /// Median query time at `query_threads = 1`.
+    pub p50_sequential: Duration,
+}
+
+impl GateResult {
+    /// Sequential-over-parallel median speedup.
+    pub fn speedup(&self) -> f64 {
+        let par = self.p50.as_secs_f64();
+        if par <= 0.0 {
+            return 1.0;
+        }
+        self.p50_sequential.as_secs_f64() / par
+    }
+}
+
+/// Entry point for `repro bench`.
+pub fn run(quick: bool, update_baseline: bool) {
+    let (n, n_queries) = if quick { (600, 8) } else { (2_400, 24) };
+    let eps = 0.01;
+    let k = 10;
+    println!(
+        "perf gate: {n} trajectories, {n_queries} queries, eps={eps}, k={k}, \
+         threads 1 vs {GATE_THREADS}{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let data = trass_traj::generator::tdrive_like(SEED, n);
+    let queries = trass_traj::generator::sample_queries(&data, n_queries, SEED + 1);
+
+    let seq = measure_all(&data, &queries, eps, k, 1);
+    let par = measure_all(&data, &queries, eps, k, GATE_THREADS);
+    let results: Vec<GateResult> = seq
+        .into_iter()
+        .zip(par)
+        .map(|(s, p)| GateResult {
+            name: s.0,
+            p50: p.1,
+            p99: p.2,
+            p50_sequential: s.1,
+        })
+        .collect();
+
+    for r in &results {
+        println!(
+            "  {:<9} p50 {:>9.3?} p99 {:>9.3?} sequential-p50 {:>9.3?} speedup {:.2}x",
+            r.name,
+            r.p50,
+            r.p99,
+            r.p50_sequential,
+            r.speedup()
+        );
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    std::fs::write(OUTPUT_PATH, render_report(&results, mode)).expect("write BENCH_ci.json");
+    println!("wrote {OUTPUT_PATH}");
+
+    if update_baseline {
+        if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
+            std::fs::create_dir_all(dir).expect("create bench dir");
+        }
+        std::fs::write(BASELINE_PATH, render_baseline(&results)).expect("write baseline");
+        println!("updated {BASELINE_PATH}");
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "perf gate: no baseline at {BASELINE_PATH} ({e}); \
+                 run `repro bench --update-baseline` and commit it"
+            );
+            std::process::exit(2);
+        }
+    };
+    let tolerance = tolerance();
+    match check_against_baseline(&results, &baseline, tolerance) {
+        Ok(lines) => {
+            for l in lines {
+                println!("  {l}");
+            }
+            println!("perf gate: OK (tolerance +{:.0}%)", tolerance * 100.0);
+        }
+        Err(failures) => {
+            for f in failures {
+                eprintln!("  REGRESSION: {f}");
+            }
+            eprintln!(
+                "perf gate: FAILED (tolerance +{:.0}%; set TRASS_BENCH_TOLERANCE or refresh \
+                 {BASELINE_PATH} with --update-baseline if intentional)",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The gate's regression tolerance (`TRASS_BENCH_TOLERANCE`, default 0.25).
+fn tolerance() -> f64 {
+    std::env::var("TRASS_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// Runs both pinned workloads at one thread count. Returns
+/// `(name, p50, p99)` per workload.
+fn measure_all(
+    data: &[Trajectory],
+    queries: &[Trajectory],
+    eps: f64,
+    k: usize,
+    threads: usize,
+) -> Vec<(&'static str, Duration, Duration)> {
+    let store = build_store(data, threads);
+    let th = harness::run_trass_threshold(&store, queries, eps, Measure::Frechet);
+    let tk = harness::run_trass_topk(&store, queries, k, Measure::Frechet);
+    vec![
+        ("threshold", th.median_time, th.p99_time),
+        ("topk", tk.median_time, tk.p99_time),
+    ]
+}
+
+fn build_store(data: &[Trajectory], threads: usize) -> TrajectoryStore {
+    let cfg = TrassConfig {
+        query_threads: threads,
+        // Sampling off: the gate measures the untraced hot path only.
+        trace_sample_every: 0,
+        // Coarser than the paper's 16: index traversal is single-threaded,
+        // and at resolution 16 it dominates this small dataset's queries.
+        // At 12 the scan and refine stages — the ones the worker pool
+        // parallelizes — carry ~95 % of the time, so the gate actually
+        // measures the pool.
+        max_resolution: 12,
+        ..TrassConfig::default()
+    };
+    let store = TrajectoryStore::open(cfg).expect("valid config");
+    store.insert_all(data).expect("in-memory insert");
+    store.flush().expect("flush");
+    store
+}
+
+/// Renders `BENCH_ci.json`.
+fn render_report(results: &[GateResult], mode: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"threads\": {GATE_THREADS},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"p50_sequential_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.p50_sequential.as_secs_f64() * 1e3,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders `bench/baseline.json` — the flat map the gate compares against.
+fn render_baseline(results: &[GateResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}_p50_ms\": {:.4}{}\n",
+            r.name,
+            r.p50.as_secs_f64() * 1e3,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Compares measured p50s against the baseline's flat `"key": number`
+/// map. `Ok` carries per-workload summary lines; `Err` carries the
+/// regression messages.
+pub fn check_against_baseline(
+    results: &[GateResult],
+    baseline: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let base = parse_flat_numbers(baseline);
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for r in results {
+        let key = format!("{}_p50_ms", r.name);
+        let Some(&base_ms) = base.iter().find(|(k, _)| *k == key).map(|(_, v)| v) else {
+            bad.push(format!("{key} missing from baseline — refresh with --update-baseline"));
+            continue;
+        };
+        let got_ms = r.p50.as_secs_f64() * 1e3;
+        let limit = base_ms * (1.0 + tolerance);
+        let line = format!(
+            "{:<9} p50 {got_ms:.3} ms vs baseline {base_ms:.3} ms (limit {limit:.3} ms)",
+            r.name
+        );
+        if got_ms > limit {
+            bad.push(line);
+        } else {
+            ok.push(line);
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
+/// Extracts every `"key": <number>` pair from a flat JSON object. The
+/// baseline format is exactly that, so a full JSON parser buys nothing.
+fn parse_flat_numbers(s: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    loop {
+        let Some(q0) = rest.find('"') else { break };
+        let after_key = &rest[q0 + 1..];
+        let Some(q1) = after_key.find('"') else { break };
+        let key = &after_key[..q1];
+        let after = &after_key[q1 + 1..];
+        let trimmed = after.trim_start();
+        let Some(val) = trimmed.strip_prefix(':') else {
+            // Not a key (e.g. a string value) — resume after it.
+            rest = after;
+            continue;
+        };
+        let val = val.trim_start();
+        if let Some(inner) = val.strip_prefix('"') {
+            // String value: skip it whole so its contents are never
+            // mistaken for a key.
+            let Some(q) = inner.find('"') else { break };
+            rest = &inner[q + 1..];
+            continue;
+        }
+        let end = val
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(val.len());
+        if let Ok(n) = val[..end].parse::<f64>() {
+            out.push((key.to_string(), n));
+        }
+        rest = &val[end..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &'static str, p50_ms: f64, seq_ms: f64) -> GateResult {
+        GateResult {
+            name,
+            p50: Duration::from_secs_f64(p50_ms / 1e3),
+            p99: Duration::from_secs_f64(p50_ms * 2.0 / 1e3),
+            p50_sequential: Duration::from_secs_f64(seq_ms / 1e3),
+        }
+    }
+
+    #[test]
+    fn parse_flat_numbers_roundtrips_baseline() {
+        let results = vec![result("threshold", 1.5, 4.5), result("topk", 8.0, 12.0)];
+        let rendered = render_baseline(&results);
+        let parsed = parse_flat_numbers(&rendered);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "threshold_p50_ms");
+        assert!((parsed[0].1 - 1.5).abs() < 1e-9);
+        assert_eq!(parsed[1].0, "topk_p50_ms");
+        assert!((parsed[1].1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let results = vec![result("threshold", 1.2, 2.0)];
+        let baseline = "{\n  \"threshold_p50_ms\": 1.0\n}\n";
+        assert!(check_against_baseline(&results, baseline, 0.25).is_ok());
+    }
+
+    #[test]
+    fn gate_fails_past_tolerance() {
+        let results = vec![result("threshold", 1.3, 2.0)];
+        let baseline = "{\n  \"threshold_p50_ms\": 1.0\n}\n";
+        let err = check_against_baseline(&results, baseline, 0.25).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("threshold"), "{err:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_workload_key() {
+        let results = vec![result("topk", 1.0, 1.0)];
+        let baseline = "{\n  \"threshold_p50_ms\": 1.0\n}\n";
+        let err = check_against_baseline(&results, baseline, 0.25).unwrap_err();
+        assert!(err[0].contains("missing"), "{err:?}");
+    }
+
+    #[test]
+    fn speedup_is_sequential_over_parallel() {
+        let r = result("threshold", 2.0, 6.0);
+        assert!((r.speedup() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_contains_every_field_the_gate_documents() {
+        let results = vec![result("threshold", 1.5, 4.5), result("topk", 8.0, 12.0)];
+        let report = render_report(&results, "quick");
+        for needle in
+            ["\"schema\": 1", "\"mode\": \"quick\"", "\"threads\": 4", "\"speedup\": 3.000"]
+        {
+            assert!(report.contains(needle), "missing {needle} in {report}");
+        }
+        // The report itself parses with the same flat scanner (keys are
+        // unique enough for CI consumers to grep).
+        let parsed = parse_flat_numbers(&report);
+        assert!(parsed.iter().any(|(k, _)| k == "p50_ms"));
+    }
+}

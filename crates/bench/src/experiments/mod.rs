@@ -2,6 +2,7 @@
 //! and appends JSONL rows under `results/`.
 
 pub mod ablation;
+pub mod bench_gate;
 pub mod explain_demo;
 pub mod fig09_threshold;
 pub mod fig10_topk;

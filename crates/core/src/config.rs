@@ -20,6 +20,12 @@ pub struct TrassConfig {
     /// Run region scans on parallel threads (the five-node cluster of the
     /// paper's evaluation).
     pub parallel_scans: bool,
+    /// Worker budget for intra-query parallelism (region-scan fan-out and
+    /// candidate refinement). `0` uses the machine's available parallelism;
+    /// `1` reproduces the exact sequential pipeline. The default honours
+    /// the `TRASS_QUERY_THREADS` environment variable (CI's determinism
+    /// matrix relies on it), falling back to `0`.
+    pub query_threads: usize,
     /// Per-region store tuning. `dir = None` runs in memory.
     pub store: StoreOptions,
     /// Ablation: apply position-code filtering (Lemmas 10–11) in global
@@ -45,6 +51,7 @@ impl Default for TrassConfig {
             space: trass_geo::WORLD_SQUARE,
             range_gap: 0,
             parallel_scans: true,
+            query_threads: default_query_threads(),
             store: StoreOptions::default(),
             use_position_codes: true,
             use_min_dist: true,
@@ -52,6 +59,12 @@ impl Default for TrassConfig {
             trace_sample_every: 64,
         }
     }
+}
+
+/// The `query_threads` default: `TRASS_QUERY_THREADS` when set to a valid
+/// count, otherwise `0` (auto).
+fn default_query_threads() -> usize {
+    std::env::var("TRASS_QUERY_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
 impl TrassConfig {
@@ -104,6 +117,21 @@ mod tests {
         assert!(c.validate().is_err());
         let c = TrassConfig { dp_theta: f64::NAN, ..TrassConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn query_threads_env_override_feeds_default() {
+        // Restore the ambient value afterwards: CI's determinism job runs
+        // the whole suite under an explicit TRASS_QUERY_THREADS.
+        let ambient = std::env::var("TRASS_QUERY_THREADS").ok();
+        std::env::set_var("TRASS_QUERY_THREADS", "3");
+        assert_eq!(TrassConfig::default().query_threads, 3);
+        std::env::set_var("TRASS_QUERY_THREADS", "not-a-number");
+        assert_eq!(TrassConfig::default().query_threads, 0);
+        match ambient {
+            Some(v) => std::env::set_var("TRASS_QUERY_THREADS", v),
+            None => std::env::remove_var("TRASS_QUERY_THREADS"),
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
 use std::sync::Arc;
 use std::time::Instant;
+use trass_exec::TopKBound;
 use trass_index::xzstar::{GlobalPruning, PruningConfig, QueryContext};
 use trass_kv::{KeyRange, KvError};
 use trass_obs::{QueryTrace, Span, TraceCtx, TraceSpan, STAGE_HISTOGRAM};
@@ -47,7 +48,7 @@ pub(crate) fn threshold_search_traced(
     let mut root = ctx.root("threshold");
     root.set_label("measure", &measure.to_string());
     root.set_field("eps", eps);
-    let result = threshold_search_impl(store, query, eps, measure, &root)?;
+    let result = threshold_search_impl(store, query, eps, measure, None, &root)?;
     root.set_field("results", result.results.len());
     root.finish();
     let trace = store.finish_trace(ctx);
@@ -64,11 +65,20 @@ pub(crate) fn threshold_search_traced(
 /// aggregate "topk" query instead of one entry per round). Stage spans
 /// (`pruning` / `scan` / `local-filter` / `refine`) become children of
 /// `parent`; a disabled parent reduces every trace operation to a branch.
+///
+/// `bound` is top-k's early-exit protocol: refine workers shrink their
+/// effective threshold to `min(eps, bound.current())` and offer every hit's
+/// exact distance back. The bound is always ≥ the k-th best distance among
+/// the hits recorded so far, so a skipped candidate is provably outside the
+/// final top-k; which *non-top-k* hits get skipped depends on worker
+/// timing, so per-round hit counts may vary across runs while the ranked
+/// top-k (and plain threshold results, `bound = None`) never do.
 pub(crate) fn threshold_search_impl(
     store: &TrajectoryStore,
     query: &Trajectory,
     eps: f64,
     measure: Measure,
+    bound: Option<&TopKBound>,
     parent: &TraceSpan,
 ) -> Result<SearchResult, KvError> {
     if eps.is_nan() || eps < 0.0 {
@@ -113,6 +123,7 @@ pub(crate) fn threshold_search_impl(
         tspan.set_field("lemma11_codes_pruned", prune_stats.lemma11_codes_pruned);
         tspan.set_field("codes_emitted", prune_stats.codes_emitted);
         tspan.set_field("spilled_subtrees", prune_stats.spilled_subtrees);
+        tspan.set_field("traversal_seconds", prune_stats.elapsed.as_secs_f64());
         tspan.set_field("value_ranges", value_ranges.len());
         tspan.set_field("key_ranges", key_ranges.len());
         tspan.set_duration(stats.pruning_time);
@@ -158,32 +169,48 @@ pub(crate) fn threshold_search_impl(
     }
     tspan.finish();
 
-    // Refinement: exact similarity on the candidates.
+    // Refinement: exact similarity on the candidates, fanned out across
+    // the store's refine pool. Verdicts come back indexed by candidate, so
+    // the merge below observes them in scan order — the same order the
+    // sequential loop produced — and the trace stays deterministic.
     let span = Span::enter_with(store.registry(), "refine", &labels);
     let mut tspan = parent.child("refine");
+    let run = store.refine_pool().run_timed(rows, |_, row| {
+        let (_, _, tid) = parse_rowkey(&row.key)?;
+        let value = RowValue::decode(&row.value).ok()?;
+        // Early exit: a bound tighter than eps means enough closer hits
+        // are already recorded to disqualify anything past it.
+        let eff = bound.map_or(eps, |b| b.current().min(eps));
+        if !measure.within(query.points(), &value.points, eff) {
+            return Some((tid, None));
+        }
+        // Hits are few; the exact value is worth one more pass.
+        let d = measure.distance(query.points(), &value.points);
+        if let Some(b) = bound {
+            b.offer(d);
+        }
+        Some((tid, Some(d)))
+    });
     let mut results = Vec::new();
     let mut verdicts = 0usize;
-    for row in rows {
-        let Some((_, _, tid)) = parse_rowkey(&row.key) else { continue };
-        let Ok(value) = RowValue::decode(&row.value) else { continue };
-        let hit = measure.within(query.points(), &value.points, eps);
-        if hit {
-            // Hits are few; the exact value is worth one more pass.
-            let d = measure.distance(query.points(), &value.points);
+    for (tid, hit) in run.results.into_iter().flatten() {
+        if let Some(d) = hit {
             results.push((tid, d));
         }
         if tspan.is_enabled() && verdicts < REFINE_VERDICT_CAP {
             verdicts += 1;
-            let verdict = if hit { "hit" } else { "miss" };
+            let verdict = if hit.is_some() { "hit" } else { "miss" };
             tspan.set_field("verdict", format!("tid={tid} {verdict}"));
         }
     }
     results.sort_by_key(|&(tid, _)| tid);
     stats.refine_time = span.finish();
+    stats.refine_worker_busy = run.worker_busy;
     stats.results = results.len() as u64;
     if tspan.is_enabled() {
         tspan.set_field("candidates", stats.candidates);
         tspan.set_field("hits", results.len());
+        tspan.set_field("workers", stats.refine_workers());
         if stats.candidates as usize > REFINE_VERDICT_CAP {
             tspan.set_field("verdicts_capped", true);
         }

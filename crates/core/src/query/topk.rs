@@ -26,6 +26,7 @@ use crate::stats::{QueryStats, SearchResult};
 use crate::store::TrajectoryStore;
 use std::sync::Arc;
 use std::time::Instant;
+use trass_exec::TopKBound;
 use trass_kv::KvError;
 use trass_obs::{QueryTrace, TraceCtx};
 use trass_traj::{Measure, Trajectory};
@@ -88,7 +89,17 @@ pub(crate) fn top_k_search_traced(
         let mut rspan = root.child("round");
         rspan.set_label("round", &round_no.to_string());
         rspan.set_field("eps", eps);
-        let round = threshold_search_impl(store, query, eps, measure, &rspan)?;
+        // Early-exit bound for this round's refine stage. Fresh per round:
+        // rounds rescan the inner ranges, and re-offering a duplicate hit
+        // into a carried-over bound would shrink it below the true k-th
+        // best. Within one round every row is offered at most once, so the
+        // bound stays an upper bound on the k-th best and skipped
+        // candidates are provably outside the top-k. The bound also cannot
+        // change the termination test below: it only turns finite after k
+        // hits are recorded, so `results.len() >= k` already holds
+        // whenever anything was skipped.
+        let round_bound = TopKBound::new(k);
+        let round = threshold_search_impl(store, query, eps, measure, Some(&round_bound), &rspan)?;
         rspan.set_field("candidates", round.stats.candidates);
         rspan.set_field("results", round.results.len());
         rspan.finish();
@@ -104,6 +115,14 @@ pub(crate) fn top_k_search_traced(
         stats.retrieved += round.stats.retrieved;
         stats.candidates += round.stats.candidates;
         stats.io = stats.io.plus(&round.stats.io);
+        // Per-worker busy time, summed position-wise across rounds (rounds
+        // may use different worker counts when candidate sets are tiny).
+        for (i, d) in round.stats.refine_worker_busy.iter().enumerate() {
+            match stats.refine_worker_busy.get_mut(i) {
+                Some(total) => *total += *d,
+                None => stats.refine_worker_busy.push(*d),
+            }
+        }
         if round.results.len() >= k || eps >= whole_space {
             let mut results = round.results;
             results.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));

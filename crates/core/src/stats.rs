@@ -33,6 +33,10 @@ pub struct QueryStats {
     /// Measured end-to-end wall-clock time, set by the query drivers.
     /// Zero when the stats were assembled by hand (tests, aggregation).
     pub total_time: Duration,
+    /// Busy wall-clock time of each refine worker (one entry per worker
+    /// that participated; a single entry for sequential execution). Summed
+    /// across rounds for top-k queries.
+    pub refine_worker_busy: Vec<Duration>,
 }
 
 impl QueryStats {
@@ -56,6 +60,18 @@ impl QueryStats {
         } else {
             self.pruning_time + self.scan_time + self.refine_time
         }
+    }
+
+    /// Number of workers that participated in the refine stage (0 when no
+    /// refine ran).
+    pub fn refine_workers(&self) -> usize {
+        self.refine_worker_busy.len()
+    }
+
+    /// Summed busy time across refine workers — CPU-style time, which
+    /// exceeds `refine_time` wall clock when refinement ran in parallel.
+    pub fn refine_busy_total(&self) -> Duration {
+        self.refine_worker_busy.iter().sum()
     }
 }
 

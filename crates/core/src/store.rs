@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use trass_geo::{Mbr, Point};
 use trass_index::xzstar::{IndexSpace, XzStar};
+use trass_exec::ScopedPool;
 use trass_kv::{Cluster, ClusterOptions, KvError};
 use trass_obs::{
     Counter, FlightRecorder, Histogram, QueryTrace, Registry, SlowLog, TraceCtx, TraceSampler,
@@ -94,6 +95,9 @@ pub struct TrajectoryStore {
     tracer: TraceSampler,
     /// Ring buffer of the last N completed traces.
     flight: FlightRecorder,
+    /// Worker pool for candidate refinement (`config.query_threads`
+    /// workers; `1` refines inline on the query thread).
+    refine_pool: ScopedPool,
     ingest_seconds: Arc<Histogram>,
     ingest_rows: Arc<Counter>,
 }
@@ -107,6 +111,7 @@ impl TrajectoryStore {
             shards: config.shards,
             store: config.store.clone(),
             parallel_scans: config.parallel_scans,
+            scan_threads: config.query_threads,
             registry: Some(Arc::clone(&registry)),
         })?;
         let mut id_store = config.store.clone();
@@ -119,6 +124,7 @@ impl TrajectoryStore {
             shards: config.shards,
             store: id_store,
             parallel_scans: false, // point lookups only
+            scan_threads: 1,
             registry: None,
         })?;
         let index = XzStar::new(config.max_resolution);
@@ -142,6 +148,7 @@ impl TrajectoryStore {
         Ok(TrajectoryStore {
             tracer: TraceSampler::every(config.trace_sample_every),
             flight: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            refine_pool: ScopedPool::with_registry(config.query_threads, &registry, "refine"),
             config,
             index,
             cluster,
@@ -217,6 +224,11 @@ impl TrajectoryStore {
         } else {
             TraceCtx::disabled()
         }
+    }
+
+    /// The refinement worker pool, shared by the query drivers.
+    pub(crate) fn refine_pool(&self) -> &ScopedPool {
+        &self.refine_pool
     }
 
     /// Completes a trace context: assembles the span tree and retains it

@@ -212,6 +212,10 @@ pub struct PruneStats {
     pub codes_emitted: u64,
     /// Subtrees emitted whole because the traversal budget ran out.
     pub spilled_subtrees: u64,
+    /// Wall-clock time of the traversal plus range coalescing. Pruning
+    /// runs single-threaded on the query thread; this is its share of the
+    /// per-worker timing the query stats break down.
+    pub elapsed: std::time::Duration,
 }
 
 /// The global pruning engine.
@@ -244,6 +248,7 @@ impl<'a> GlobalPruning<'a> {
 
     /// [`GlobalPruning::query_ranges`] plus per-lemma pruning counters.
     pub fn query_ranges_stats(&self, q: &QueryContext) -> (Vec<ValueRange>, PruneStats) {
+        let t0 = std::time::Instant::now();
         let mut stats = PruneStats::default();
         let (values, mut ranges) = self.traverse(q, self.config.node_budget, &mut stats);
         ranges.extend(coalesce(values, self.config.range_gap));
@@ -257,6 +262,7 @@ impl<'a> GlobalPruning<'a> {
                 _ => out.push(r),
             }
         }
+        stats.elapsed = t0.elapsed();
         (out, stats)
     }
 

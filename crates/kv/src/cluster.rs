@@ -17,6 +17,7 @@ use crate::types::{Entry, KeyRange};
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Instant;
+use trass_exec::ScopedPool;
 use trass_obs::{Counter, Histogram, Registry, TraceSpan};
 
 /// Cluster topology and per-region store tuning.
@@ -28,8 +29,13 @@ pub struct ClusterOptions {
     /// Options applied to each region's store. When `dir` is set, region
     /// `i` stores under `dir/region-<i>`.
     pub store: StoreOptions,
-    /// Fan scans out across OS threads, one per involved region.
+    /// Fan scans out across a scoped worker pool, up to one worker per
+    /// involved region. `false` forces every scan onto the calling thread.
     pub parallel_scans: bool,
+    /// Worker budget for parallel scans: `0` uses the machine's available
+    /// parallelism, `1` is exact sequential behavior (equivalent to
+    /// `parallel_scans: false`), anything else caps the fan-out.
+    pub scan_threads: usize,
     /// Observability registry shared by every region (each labelled with
     /// its shard). `None` creates a private one, reachable via
     /// [`Cluster::registry`].
@@ -42,6 +48,7 @@ impl Default for ClusterOptions {
             shards: 8,
             store: StoreOptions::default(),
             parallel_scans: true,
+            scan_threads: 0,
             registry: None,
         }
     }
@@ -59,6 +66,8 @@ pub struct Cluster {
     regions: Vec<Arc<LsmStore>>,
     /// Per-region scan fan-out metrics, parallel to `regions`.
     scan_obs: Vec<RegionScanObs>,
+    /// Scoped worker pool for multi-region scan fan-out.
+    pool: ScopedPool,
     registry: Arc<Registry>,
     opts: ClusterOptions,
 }
@@ -94,7 +103,9 @@ impl Cluster {
                 seconds: registry.timer("trass_kv_region_scan_seconds", &labels),
             });
         }
-        Ok(Cluster { regions, scan_obs, registry, opts })
+        let pool_threads = if opts.parallel_scans { opts.scan_threads } else { 1 };
+        let pool = ScopedPool::with_registry(pool_threads, &registry, "scan");
+        Ok(Cluster { regions, scan_obs, pool, registry, opts })
     }
 
     /// The registry every region reports into.
@@ -183,56 +194,34 @@ impl Cluster {
         let involved: Vec<usize> =
             (0..self.regions.len()).filter(|&i| !per_shard[i].is_empty()).collect();
 
-        if self.opts.parallel_scans && involved.len() > 1 {
-            let mut results: Vec<Result<Vec<Entry>>> = Vec::with_capacity(involved.len());
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = involved
-                    .iter()
-                    .map(|&shard| {
-                        let region = Arc::clone(&self.regions[shard]);
-                        let ranges = per_shard[shard].clone();
-                        let scans = Arc::clone(&self.scan_obs[shard].scans);
-                        let seconds = Arc::clone(&self.scan_obs[shard].seconds);
-                        scope.spawn(move |_| {
-                            scans.inc();
-                            let span = region_span(parent, shard, &ranges, &region);
-                            let t = Instant::now();
-                            let r = scan_region(&region, &ranges, filter);
-                            seconds.record_duration(t.elapsed());
-                            finish_region_span(span, &region, &r);
-                            r
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    match h.join() {
-                        Ok(r) => results.push(r),
-                        // A panicked scan thread must not be swallowed into
-                        // a store error: re-raise it on the caller.
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    }
-                }
-            })
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-            let mut out = Vec::new();
-            for r in results {
-                out.extend(r?);
-            }
-            Ok(out)
-        } else {
-            let mut out = Vec::new();
-            for &shard in &involved {
+        // Spans (and the fan-out counters) are opened here on the calling
+        // thread, in ascending shard order, so the trace tree and counter
+        // sequence are identical whatever the worker interleaving. Workers
+        // only fill in the per-region results.
+        let tasks: Vec<(usize, Option<(TraceSpan, MetricsSnapshot)>)> = involved
+            .into_iter()
+            .map(|shard| {
                 self.scan_obs[shard].scans.inc();
-                let region = &self.regions[shard];
-                let span = region_span(parent, shard, &per_shard[shard], region);
-                let t = Instant::now();
-                let r = scan_region(region, &per_shard[shard], filter);
-                self.scan_obs[shard].seconds.record_duration(t.elapsed());
-                finish_region_span(span, region, &r);
-                out.extend(r?);
-            }
-            Ok(out)
+                (shard, region_span(parent, shard, &per_shard[shard], &self.regions[shard]))
+            })
+            .collect();
+        // The pool returns results in task order — ascending shard order —
+        // so the concatenation below yields the exact byte sequence of a
+        // sequential scan. A single involved region (or scan_threads = 1)
+        // runs inline on the calling thread with no fan-out at all.
+        let results: Vec<Result<Vec<Entry>>> = self.pool.run(tasks, |_, (shard, span)| {
+            let region = &self.regions[shard];
+            let t = Instant::now();
+            let r = scan_region(region, &per_shard[shard], filter);
+            self.scan_obs[shard].seconds.record_duration(t.elapsed());
+            finish_region_span(span, region, &r);
+            r
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
         }
+        Ok(out)
     }
 
     /// Aggregated I/O metrics across all regions.

@@ -1,8 +1,10 @@
 //! Multi-threaded hammering of `Histogram` and `Registry`: exact total
-//! counts and monotone percentiles must survive concurrent recording.
+//! counts and monotone percentiles must survive concurrent recording —
+//! plus `SlowLog` and `FlightRecorder` under concurrent record/push and
+//! snapshot, the pattern the parallel query pipeline produces.
 
 use std::sync::Arc;
-use trass_obs::{Histogram, Registry, Span};
+use trass_obs::{FlightRecorder, Histogram, Registry, SlowLog, Span, TraceCtx};
 
 const THREADS: usize = 8;
 const PER_THREAD: u64 = 20_000;
@@ -124,6 +126,89 @@ fn concurrent_records_and_merges_conserve_counts() {
     assert_eq!(target.count(), expected);
     let bucket_total: u64 = target.nonzero_buckets().iter().map(|&(_, n)| n).sum();
     assert_eq!(bucket_total, expected);
+}
+
+#[test]
+fn slow_log_concurrent_records_and_snapshots() {
+    // Writers offer distinct keys while snapshotters read continuously:
+    // every snapshot must be internally consistent (sorted, bounded, no
+    // torn entries where key and payload disagree), and the final state
+    // must hold exactly the top-capacity keys.
+    const CAPACITY: usize = 16;
+    let log = Arc::new(SlowLog::<u64>::new(CAPACITY));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let log = Arc::clone(&log);
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    // Unique key per (thread, i); payload mirrors the key
+                    // so snapshots can check for tearing.
+                    let key = i * THREADS as u64 + t as u64 + 1;
+                    log.record(key, key);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let log = Arc::clone(&log);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    let snap = log.snapshot();
+                    assert!(snap.len() <= CAPACITY);
+                    for w in snap.windows(2) {
+                        assert!(w[0].0 >= w[1].0, "snapshot not sorted slowest-first");
+                    }
+                    for (k, v) in &snap {
+                        assert_eq!(k, v, "torn slow-log entry");
+                    }
+                }
+            });
+        }
+    });
+    let snap = log.snapshot();
+    assert_eq!(snap.len(), CAPACITY);
+    // The largest keys overall are 2000*THREADS down to
+    // 2000*THREADS - CAPACITY + 1 — exactly what must have been kept.
+    let max = 1_999 * THREADS as u64 + THREADS as u64; // i=1999, t=THREADS-1
+    let want: Vec<u64> = (0..CAPACITY as u64).map(|d| max - d).collect();
+    let got: Vec<u64> = snap.iter().map(|&(k, _)| k).collect();
+    assert_eq!(got, want);
+}
+
+fn make_trace(tag: &str) -> Arc<trass_obs::QueryTrace> {
+    let ctx = TraceCtx::enabled();
+    let mut root = ctx.root("test");
+    root.set_label("tag", tag);
+    root.finish();
+    Arc::new(ctx.finish().expect("enabled ctx yields a trace"))
+}
+
+#[test]
+fn flight_recorder_concurrent_pushes_and_snapshots() {
+    const CAPACITY: usize = 8;
+    let rec = Arc::new(FlightRecorder::new(CAPACITY));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..300 {
+                    rec.push(make_trace(&format!("{t}-{i}")));
+                }
+            });
+        }
+        for _ in 0..2 {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    let snap = rec.snapshot();
+                    assert!(snap.len() <= CAPACITY, "ring exceeded capacity");
+                    assert!(rec.len() <= CAPACITY);
+                }
+            });
+        }
+    });
+    // Ring stabilizes at exactly capacity once enough traces were pushed.
+    assert_eq!(rec.len(), CAPACITY);
+    assert_eq!(rec.snapshot().len(), CAPACITY);
 }
 
 #[test]
