@@ -14,6 +14,7 @@
 //!   fig20   Hausdorff and DTW measures
 //!   io      theoretical 83.6 % + measured I/O reduction vs XZ-Ordering
 //!   obs     observability demo: Prometheus + JSON dump, slow-query log
+//!           (--serve keeps it up behind the HTTP telemetry endpoint)
 //!   explain EXPLAIN ANALYZE demo: per-query trace trees, text + JSON
 //!   bench   CI perf-regression gate (flags: --quick --update-baseline)
 //!   all     everything, in order
@@ -55,7 +56,19 @@ fn main() {
         "fig20" => experiments::fig20_measures::run(),
         "io" => experiments::io_reduction::run(),
         "ablation" => experiments::ablation::run(),
-        "obs" => experiments::obs_demo::run(),
+        "obs" => {
+            let flags: Vec<String> = std::env::args().skip(2).collect();
+            for f in &flags {
+                if f != "--serve" {
+                    eprintln!("usage: repro obs [--serve]");
+                    std::process::exit(2);
+                }
+            }
+            if flags.iter().any(|f| f == "--serve") {
+                return experiments::obs_demo::serve();
+            }
+            experiments::obs_demo::run()
+        }
         "explain" => experiments::explain_demo::run(),
         "all" => experiments::run_all(),
         other => {

@@ -104,8 +104,16 @@ pub fn run(quick: bool, update_baseline: bool) {
         );
     }
 
+    let cores = host_cores();
+    if cores > 0 && cores < GATE_THREADS {
+        eprintln!(
+            "warning: host reports {cores} cores but the gate budget is {GATE_THREADS} \
+             threads; parallel medians will undershoot and speedups are not comparable \
+             to baselines taken on wider machines"
+        );
+    }
     let mode = if quick { "quick" } else { "full" };
-    std::fs::write(OUTPUT_PATH, render_report(&results, mode)).expect("write BENCH_ci.json");
+    std::fs::write(OUTPUT_PATH, render_report(&results, mode, cores)).expect("write BENCH_ci.json");
     println!("wrote {OUTPUT_PATH}");
 
     if update_baseline {
@@ -195,12 +203,20 @@ fn build_store(data: &[Trajectory], threads: usize) -> TrajectoryStore {
     store
 }
 
+/// Cores available to this process (`0` when the host cannot say) —
+/// recorded in the report so CI artifacts from differently-sized runners
+/// are never compared as equals.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+}
+
 /// Renders `BENCH_ci.json`.
-fn render_report(results: &[GateResult], mode: &str) -> String {
+fn render_report(results: &[GateResult], mode: &str, host_cores: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"threads\": {GATE_THREADS},\n"));
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -363,15 +379,20 @@ mod tests {
     #[test]
     fn report_contains_every_field_the_gate_documents() {
         let results = vec![result("threshold", 1.5, 4.5), result("topk", 8.0, 12.0)];
-        let report = render_report(&results, "quick");
-        for needle in
-            ["\"schema\": 1", "\"mode\": \"quick\"", "\"threads\": 4", "\"speedup\": 3.000"]
-        {
+        let report = render_report(&results, "quick", 6);
+        for needle in [
+            "\"schema\": 1",
+            "\"mode\": \"quick\"",
+            "\"threads\": 4",
+            "\"host_cores\": 6",
+            "\"speedup\": 3.000",
+        ] {
             assert!(report.contains(needle), "missing {needle} in {report}");
         }
         // The report itself parses with the same flat scanner (keys are
         // unique enough for CI consumers to grep).
         let parsed = parse_flat_numbers(&report);
         assert!(parsed.iter().any(|(k, _)| k == "p50_ms"));
+        assert!(parsed.iter().any(|(k, v)| k == "host_cores" && *v == 6.0));
     }
 }

@@ -64,6 +64,30 @@ pub fn run() {
     }
 }
 
+/// Runs the demo workload and then stays up behind the embedded telemetry
+/// endpoint (`repro obs --serve`): prints the bound address and keeps a
+/// light query loop going so scrapes of `/metrics`, `/healthz` and friends
+/// see live numbers. Runs until killed — CI's endpoint smoke job starts it
+/// in the background, curls the endpoint, and tears it down.
+pub fn serve() {
+    let ds = datasets::gaussian();
+    let store = collect(&ds, datasets::n_queries());
+    let telemetry = store.serve_telemetry().expect("bind telemetry endpoint");
+    // Single parseable line first (CI greps for it), then the route list.
+    println!("telemetry listening on http://{}", telemetry.local_addr());
+    println!("routes: /metrics /metrics.json /traces /slowlog /vars/history /healthz /readyz");
+    println!("serving until killed (Ctrl-C)");
+    std::io::stdout().flush().expect("flush stdout");
+
+    let queries = datasets::queries(&ds, 4);
+    loop {
+        for q in &queries {
+            query::threshold_search(&store, q, 0.01, Measure::Frechet).expect("threshold");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

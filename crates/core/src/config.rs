@@ -40,6 +40,13 @@ pub struct TrassConfig {
     /// … record full span trees into the flight recorder). `0` disables
     /// sampling entirely; `explain` always traces regardless.
     pub trace_sample_every: u64,
+    /// Bind address for the embedded telemetry endpoint
+    /// ([`TrajectoryStore::serve_telemetry`](crate::TrajectoryStore::serve_telemetry)),
+    /// e.g. `"127.0.0.1:9090"`; port `0` picks an ephemeral port. `None`
+    /// (the default) means the endpoint is only started when asked
+    /// explicitly. The default honours the `TRASS_TELEMETRY_ADDR`
+    /// environment variable.
+    pub telemetry_addr: Option<String>,
 }
 
 impl Default for TrassConfig {
@@ -57,6 +64,7 @@ impl Default for TrassConfig {
             use_min_dist: true,
             use_local_filter: true,
             trace_sample_every: 64,
+            telemetry_addr: default_telemetry_addr(),
         }
     }
 }
@@ -65,6 +73,12 @@ impl Default for TrassConfig {
 /// count, otherwise `0` (auto).
 fn default_query_threads() -> usize {
     std::env::var("TRASS_QUERY_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// The `telemetry_addr` default: `TRASS_TELEMETRY_ADDR` when set and
+/// non-empty, otherwise `None` (endpoint off).
+fn default_telemetry_addr() -> Option<String> {
+    std::env::var("TRASS_TELEMETRY_ADDR").ok().filter(|v| !v.is_empty())
 }
 
 impl TrassConfig {
@@ -131,6 +145,19 @@ mod tests {
         match ambient {
             Some(v) => std::env::set_var("TRASS_QUERY_THREADS", v),
             None => std::env::remove_var("TRASS_QUERY_THREADS"),
+        }
+    }
+
+    #[test]
+    fn telemetry_addr_env_feeds_default() {
+        let ambient = std::env::var("TRASS_TELEMETRY_ADDR").ok();
+        std::env::set_var("TRASS_TELEMETRY_ADDR", "127.0.0.1:9090");
+        assert_eq!(TrassConfig::default().telemetry_addr.as_deref(), Some("127.0.0.1:9090"));
+        std::env::set_var("TRASS_TELEMETRY_ADDR", "");
+        assert_eq!(TrassConfig::default().telemetry_addr, None);
+        match ambient {
+            Some(v) => std::env::set_var("TRASS_TELEMETRY_ADDR", v),
+            None => std::env::remove_var("TRASS_TELEMETRY_ADDR"),
         }
     }
 

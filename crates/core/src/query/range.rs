@@ -89,7 +89,13 @@ pub(crate) fn range_search_traced(
     let io_before = store.cluster().metrics_snapshot();
     let mut tspan = root.child("scan");
     let span = Span::enter(store.registry(), "scan");
-    let rows = store.cluster().scan_ranges_traced(&key_ranges, &timed, &tspan)?;
+    let rows = match store.cluster().scan_ranges_traced(&key_ranges, &timed, &tspan) {
+        Ok(rows) => rows,
+        Err(e) => {
+            store.record_query_error("range");
+            return Err(e);
+        }
+    };
     stats.scan_time = span.finish();
     if tspan.is_enabled() {
         tspan.set_field("rows_returned", rows.len());

@@ -48,7 +48,13 @@ pub(crate) fn threshold_search_traced(
     let mut root = ctx.root("threshold");
     root.set_label("measure", &measure.to_string());
     root.set_field("eps", eps);
-    let result = threshold_search_impl(store, query, eps, measure, None, &root)?;
+    let result = match threshold_search_impl(store, query, eps, measure, None, &root) {
+        Ok(result) => result,
+        Err(e) => {
+            store.record_query_error("threshold");
+            return Err(e);
+        }
+    };
     root.set_field("results", result.results.len());
     root.finish();
     let trace = store.finish_trace(ctx);

@@ -99,7 +99,13 @@ pub(crate) fn top_k_search_traced(
         // hits are recorded, so `results.len() >= k` already holds
         // whenever anything was skipped.
         let round_bound = TopKBound::new(k);
-        let round = threshold_search_impl(store, query, eps, measure, Some(&round_bound), &rspan)?;
+        let round = match threshold_search_impl(store, query, eps, measure, Some(&round_bound), &rspan) {
+            Ok(round) => round,
+            Err(e) => {
+                store.record_query_error("topk");
+                return Err(e);
+            }
+        };
         rspan.set_field("candidates", round.stats.candidates);
         rspan.set_field("results", round.results.len());
         rspan.finish();

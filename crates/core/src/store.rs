@@ -10,7 +10,8 @@ use trass_index::xzstar::{IndexSpace, XzStar};
 use trass_exec::ScopedPool;
 use trass_kv::{Cluster, ClusterOptions, KvError};
 use trass_obs::{
-    Counter, FlightRecorder, Histogram, QueryTrace, Registry, SlowLog, TraceCtx, TraceSampler,
+    Counter, FlightRecorder, HealthRegistry, Histogram, QueryTrace, Registry, SloObjective,
+    SlowLog, Telemetry, TelemetryOptions, TelemetrySources, TraceCtx, TraceSampler,
 };
 use trass_traj::{DpFeatures, Measure, Trajectory, TrajectoryId};
 
@@ -89,17 +90,32 @@ pub struct TrajectoryStore {
     /// Shared metric registry: the query pipeline, the ingest path, and
     /// every region of the main cluster report into it.
     registry: Arc<Registry>,
-    /// Top-N slowest queries by total wall-clock time.
-    slow_queries: SlowLog<SlowQueryRecord>,
+    /// Top-N slowest queries by total wall-clock time (shared with the
+    /// telemetry endpoint's `/slowlog` route).
+    slow_queries: Arc<SlowLog<SlowQueryRecord>>,
     /// Deterministic 1-in-N query trace sampling.
     tracer: TraceSampler,
-    /// Ring buffer of the last N completed traces.
-    flight: FlightRecorder,
+    /// Ring buffer of the last N completed traces (shared with the
+    /// telemetry endpoint's `/traces` route).
+    flight: Arc<FlightRecorder>,
     /// Worker pool for candidate refinement (`config.query_threads`
     /// workers; `1` refines inline on the query thread).
     refine_pool: ScopedPool,
     ingest_seconds: Arc<Histogram>,
     ingest_rows: Arc<Counter>,
+    query_obs: QueryObs,
+}
+
+/// Pre-resolved handles for the query pipeline's cumulative (unlabelled)
+/// series. The SLO evaluator reads exactly these series, so they are
+/// created at open rather than lazily on the first query.
+struct QueryObs {
+    /// Every finished query, successful or not.
+    queries_total: Arc<Counter>,
+    /// End-to-end latency of successful queries.
+    query_seconds: Arc<Histogram>,
+    /// Queries that returned an error.
+    errors_total: Arc<Counter>,
 }
 
 impl TrajectoryStore {
@@ -145,18 +161,24 @@ impl TrajectoryStore {
                 ],
             )
             .set(1);
+        let query_obs = QueryObs {
+            queries_total: registry.counter("trass_queries_total", &[]),
+            query_seconds: registry.timer("trass_query_seconds", &[]),
+            errors_total: registry.counter("trass_query_errors_total", &[]),
+        };
         Ok(TrajectoryStore {
             tracer: TraceSampler::every(config.trace_sample_every),
-            flight: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            flight: Arc::new(FlightRecorder::new(FLIGHT_RECORDER_CAPACITY)),
             refine_pool: ScopedPool::with_registry(config.query_threads, &registry, "refine"),
             config,
             index,
             cluster,
             id_index,
             registry,
-            slow_queries: SlowLog::new(SLOW_LOG_CAPACITY),
+            slow_queries: Arc::new(SlowLog::new(SLOW_LOG_CAPACITY)),
             ingest_seconds,
             ingest_rows,
+            query_obs,
         })
     }
 
@@ -190,6 +212,56 @@ impl TrajectoryStore {
     /// (sampled queries and every `explain`).
     pub fn flight_recorder(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// Starts the embedded telemetry endpoint with default options: bound
+    /// to [`TrassConfig::telemetry_addr`] (or an ephemeral localhost port
+    /// when unset), 1 s collection interval, 2 min of history, and the
+    /// default SLOs — query p99 latency under 500 ms at 99%, and query
+    /// error rate under 0.1%.
+    ///
+    /// The returned [`Telemetry`] owns the server and collector threads;
+    /// dropping it (or calling [`Telemetry::shutdown`]) stops both.
+    pub fn serve_telemetry(&self) -> std::io::Result<Telemetry> {
+        let addr =
+            self.config.telemetry_addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+        self.serve_telemetry_with(TelemetryOptions {
+            addr,
+            objectives: Self::default_slo_objectives(),
+            ..TelemetryOptions::default()
+        })
+    }
+
+    /// [`TrajectoryStore::serve_telemetry`] with explicit options (bind
+    /// address, collection interval, history depth, SLO objectives).
+    pub fn serve_telemetry_with(&self, opts: TelemetryOptions) -> std::io::Result<Telemetry> {
+        let health = HealthRegistry::new_shared();
+        self.cluster.register_health_probes(&health);
+        self.refine_pool.register_health_probe(&health, "refine-pool", 256);
+        let slow = Arc::clone(&self.slow_queries);
+        Telemetry::serve(
+            opts,
+            TelemetrySources {
+                registry: Arc::clone(&self.registry),
+                refresh: Some(self.cluster.metrics_publisher()),
+                flight: Some(Arc::clone(&self.flight)),
+                slowlog: Some(Arc::new(move || render_slowlog(&slow))),
+                health,
+            },
+        )
+    }
+
+    /// The default SLO objectives evaluated by the telemetry endpoint.
+    pub fn default_slo_objectives() -> Vec<SloObjective> {
+        vec![
+            SloObjective::latency_under("query-latency-p99", "trass_query_seconds", 0.5, 0.99),
+            SloObjective::error_ratio(
+                "query-error-rate",
+                "trass_query_errors_total",
+                "trass_queries_total",
+                0.999,
+            ),
+        ]
     }
 
     /// Runs a query with tracing forced on and returns its result together
@@ -250,10 +322,21 @@ impl TrajectoryStore {
         trace: Option<Arc<QueryTrace>>,
     ) {
         self.registry.counter("trass_queries", &[("kind", kind)]).inc();
+        self.query_obs.queries_total.inc();
+        self.query_obs.query_seconds.record_duration(stats.total_time());
         self.slow_queries.record(
             stats.total_time().as_nanos() as u64,
             SlowQueryRecord { kind, detail, stats: stats.clone(), trace },
         );
+    }
+
+    /// Counts a query that failed with an error. The error also counts in
+    /// `trass_queries_total` so the SLO error ratio's denominator covers
+    /// every attempt, not just the successful ones.
+    pub(crate) fn record_query_error(&self, kind: &'static str) {
+        self.registry.counter("trass_query_errors", &[("kind", kind)]).inc();
+        self.query_obs.errors_total.inc();
+        self.query_obs.queries_total.inc();
     }
 
     /// Renders every metric in the Prometheus text exposition format,
@@ -370,6 +453,27 @@ impl TrajectoryStore {
         self.cluster.flush()?;
         self.id_index.flush()
     }
+}
+
+/// Renders the slow-query log as a plain-text report (the telemetry
+/// endpoint's `/slowlog` route).
+fn render_slowlog(log: &SlowLog<SlowQueryRecord>) -> String {
+    let entries = log.snapshot();
+    if entries.is_empty() {
+        return "slow-query log: empty\n".to_string();
+    }
+    let mut out = format!("{} retained slow queries, slowest first\n\n", entries.len());
+    for (i, (nanos, rec)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>2}. {:>10.3} ms  {:<9} {}{}\n",
+            i + 1,
+            *nanos as f64 / 1e6,
+            rec.kind,
+            rec.detail,
+            if rec.trace.is_some() { "  [traced]" } else { "" },
+        ));
+    }
+    out
 }
 
 fn bool_label(v: bool) -> &'static str {

@@ -1,0 +1,178 @@
+//! End-to-end acceptance tests for the embedded telemetry endpoint:
+//! Prometheus exposition over a live query workload, health probes wired
+//! from the kv cluster and worker pools, SLO burn-rate verdicts flipping
+//! `/healthz` to 503 under an injected latency spike, collector history
+//! wraparound, and clean shutdown (the port must be rebindable).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use trass_core::config::TrassConfig;
+use trass_core::store::TrajectoryStore;
+use trass_core::{range_search, threshold_search};
+use trass_geo::Mbr;
+use trass_obs::{SloObjective, TelemetryOptions};
+use trass_traj::{generator, Measure};
+
+fn populated_store(n: usize) -> (TrajectoryStore, Vec<trass_traj::Trajectory>) {
+    let extent = Mbr::new(116.0, 39.6, 116.8, 40.2);
+    let mut config = TrassConfig::for_extent(extent);
+    // Ignore any ambient TRASS_TELEMETRY_ADDR: these tests always bind
+    // ephemeral ports so parallel test binaries cannot collide.
+    config.telemetry_addr = None;
+    let store = TrajectoryStore::open(config).unwrap();
+    let data = generator::tdrive_like(7, n);
+    store.insert_all(&data).unwrap();
+    store.flush().unwrap();
+    (store, data)
+}
+
+/// Raw HTTP/1.1 GET returning `(status, headers, body)` — the tests talk
+/// to the endpoint exactly the way curl or a Prometheus scraper would.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+/// Manual-stepping options: an interval long enough that the background
+/// thread never ticks on its own, so tests drive `collect_once` directly.
+fn manual_options(objectives: Vec<SloObjective>, history: usize) -> TelemetryOptions {
+    TelemetryOptions {
+        addr: "127.0.0.1:0".to_string(),
+        interval: Duration::from_secs(3600),
+        history,
+        objectives,
+    }
+}
+
+#[test]
+fn metrics_expose_the_query_pipeline_over_a_live_workload() {
+    let (store, data) = populated_store(200);
+    for q in data.iter().take(4) {
+        threshold_search(&store, q, 0.02, Measure::Frechet).unwrap();
+    }
+    range_search(&store, &Mbr::new(116.3, 39.8, 116.5, 40.0)).unwrap();
+
+    let telemetry = store.serve_telemetry().unwrap();
+    let addr = telemetry.local_addr();
+
+    let (status, head, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    // The query-latency histogram carries the workload just executed.
+    assert!(body.contains("# TYPE trass_query_seconds histogram"), "{body}");
+    assert!(body.contains("trass_query_seconds_bucket"), "{body}");
+    let count = body
+        .lines()
+        .find(|l| l.starts_with("trass_query_seconds_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("trass_query_seconds_count series");
+    assert!(count >= 5, "expected >= 5 recorded queries, got {count}");
+    assert!(body.contains("trass_queries_total 5"), "{body}");
+    // Scraping refreshes kv-side gauges through the cluster publisher.
+    assert!(body.contains("trass_kv_entries_scanned"), "{body}");
+    // Per-stage timers from the pipeline are present too.
+    assert!(body.contains("# TYPE trass_query_stage_seconds histogram"), "{body}");
+
+    let (status, _, json) = http_get(addr, "/metrics.json");
+    assert_eq!(status, 200);
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("trass_query_seconds"), "{json}");
+
+    // The companion debug surfaces answer on the same listener.
+    assert_eq!(http_get(addr, "/").0, 200);
+    assert_eq!(http_get(addr, "/slowlog").0, 200);
+    assert_eq!(http_get(addr, "/traces").0, 200);
+    assert_eq!(http_get(addr, "/definitely-not-a-route").0, 404);
+
+    telemetry.shutdown();
+}
+
+#[test]
+fn healthz_reports_probes_and_flips_on_latency_spike() {
+    let (store, _) = populated_store(100);
+    let mut objective =
+        SloObjective::latency_under("query-latency-p99", "trass_query_seconds", 0.5, 0.99);
+    objective.fast_window = 2;
+    objective.slow_window = 4;
+    let telemetry = store.serve_telemetry_with(manual_options(vec![objective], 16)).unwrap();
+    let addr = telemetry.local_addr();
+
+    // Healthy baseline: all wired probes pass and are named in the body.
+    // No queries run yet, so the latency objective has no samples and the
+    // verdict below is driven purely by the injected spike — real query
+    // latency in a debug build would be an uncontrolled input.
+    telemetry.collector().collect_once();
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    for probe in ["kv-regions", "kv-scan-pool", "refine-pool"] {
+        assert!(body.contains(&format!("ok   probe {probe}")), "{body}");
+    }
+
+    // Injected latency spike: every new sample blows the 500 ms target,
+    // so both burn windows saturate and the endpoint must page.
+    let timer = store.registry().timer("trass_query_seconds", &[]);
+    for _ in 0..5 {
+        for _ in 0..10 {
+            timer.record_duration(Duration::from_secs(2));
+        }
+        telemetry.collector().collect_once();
+    }
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("FAIL slo \"query-latency-p99\""), "{body}");
+    // Readiness ignores SLO verdicts: the process can still serve.
+    assert_eq!(http_get(addr, "/readyz").0, 200);
+    // The verdict is scrapeable alongside the metrics it was derived from.
+    let (_, _, metrics) = http_get(addr, "/metrics");
+    assert!(metrics.contains("trass_slo_ok{objective=\"query-latency-p99\"} 0"), "{metrics}");
+
+    telemetry.shutdown();
+}
+
+#[test]
+fn vars_history_wraps_once_capacity_is_exceeded() {
+    let (store, data) = populated_store(50);
+    let telemetry = store.serve_telemetry_with(manual_options(Vec::new(), 4)).unwrap();
+    let addr = telemetry.local_addr();
+
+    // Seven ticks into a four-slot ring: every series must report the
+    // wraparound and retain only the last four samples.
+    for _ in 0..7 {
+        threshold_search(&store, &data[0], 0.01, Measure::Frechet).unwrap();
+        telemetry.collector().collect_once();
+    }
+    let (status, _, history) = http_get(addr, "/vars/history");
+    assert_eq!(status, 200);
+    assert!(history.contains("\"trass_queries_total\""), "{history}");
+    assert!(history.contains("\"wrapped\":true"), "{history}");
+    assert!(history.contains("\"total\":7"), "{history}");
+
+    telemetry.shutdown();
+}
+
+#[test]
+fn telemetry_shutdown_is_clean() {
+    let (store, _) = populated_store(10);
+    let telemetry = store.serve_telemetry().unwrap();
+    let addr = telemetry.local_addr();
+    assert_eq!(http_get(addr, "/healthz").0, 200);
+    telemetry.shutdown();
+    // All threads joined and the socket is released: the exact address
+    // must be immediately rebindable.
+    let rebound = TcpListener::bind(addr).expect("port still held after shutdown");
+    drop(rebound);
+}

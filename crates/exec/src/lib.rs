@@ -112,6 +112,31 @@ impl ScopedPool {
         self.threads
     }
 
+    /// Registers a readiness probe named `name` on `health` that fails
+    /// when the pool's queue depth exceeds `max_queue` — a saturated pool
+    /// means queries are arriving faster than workers drain them, which an
+    /// orchestrator should see on `/readyz` before latency SLOs burn.
+    ///
+    /// No-op for uninstrumented pools (no registry attached): with no
+    /// gauge to read there is nothing to probe.
+    pub fn register_health_probe(
+        &self,
+        health: &trass_obs::HealthRegistry,
+        name: &str,
+        max_queue: i64,
+    ) {
+        let Some(obs) = &self.obs else { return };
+        let depth = Arc::clone(&obs.queue_depth);
+        health.register(name, move || {
+            let d = depth.get();
+            if d > max_queue {
+                Err(format!("pool queue depth {d} exceeds {max_queue}"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
     /// Runs `f` over every item, returning results in item order. See
     /// [`ScopedPool::run_timed`] for the full contract.
     pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
@@ -409,6 +434,30 @@ mod tests {
         assert_eq!(registry.counter("trass_pool_tasks_total", &labels).get(), 50);
         // Every submitted task was drained.
         assert_eq!(registry.gauge("trass_pool_queue_depth", &labels).get(), 0);
+    }
+
+    #[test]
+    fn health_probe_tracks_queue_depth() {
+        let registry = Registry::new();
+        let pool = ScopedPool::with_registry(2, &registry, "probe-test");
+        let health = trass_obs::HealthRegistry::new();
+        pool.register_health_probe(&health, "scan-pool", 10);
+        assert!(health.healthy(), "idle pool must be healthy");
+        // Saturate the gauge directly: the probe reads whatever the pool's
+        // queue-depth handle says, it does not re-derive it.
+        let depth = registry.gauge("trass_pool_queue_depth", &[("pool", "probe-test")]);
+        depth.set(11);
+        let reports = health.check();
+        assert_eq!(reports.len(), 1);
+        let err = reports[0].result.as_ref().expect_err("saturated pool must fail");
+        assert!(err.contains("11"), "{err}");
+        depth.set(0);
+        assert!(health.healthy(), "drained pool must recover");
+        // Uninstrumented pools register nothing.
+        let bare = ScopedPool::new(2);
+        let empty = trass_obs::HealthRegistry::new();
+        bare.register_health_probe(&empty, "noop", 1);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -259,6 +259,40 @@ impl Cluster {
     pub fn region_entry_counts(&self) -> Vec<u64> {
         self.regions.iter().map(|r| r.table_entries() + r.memtable_len() as u64).collect()
     }
+
+    /// A self-contained closure doing [`Cluster::publish_metrics`],
+    /// holding its own region handles — the telemetry endpoint's refresh
+    /// hook, runnable without borrowing the cluster.
+    pub fn metrics_publisher(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let regions: Vec<Arc<LsmStore>> = self.regions.clone();
+        Arc::new(move || {
+            for r in &regions {
+                r.publish_metrics();
+            }
+        })
+    }
+
+    /// Registers this cluster's health probes on `health` (served by the
+    /// telemetry endpoint's `/healthz` and `/readyz`):
+    ///
+    /// * `kv-regions` — every region's [`LsmStore::health`] (data dir
+    ///   present and writable, WAL alive, compaction keeping up). The
+    ///   first failing shard wins and is named in the report.
+    /// * `kv-scan-pool` — the scan pool's queue depth stays under
+    ///   `4 × shards` (deeper means fan-out is outrunning the workers).
+    pub fn register_health_probes(&self, health: &trass_obs::HealthRegistry) {
+        let regions: Vec<Arc<LsmStore>> = self.regions.clone();
+        health.register("kv-regions", move || {
+            for (shard, region) in regions.iter().enumerate() {
+                if let Err(e) = region.health() {
+                    return Err(format!("shard {shard}: {e}"));
+                }
+            }
+            Ok(())
+        });
+        let max_queue = (self.regions.len() as i64) * 4;
+        self.pool.register_health_probe(health, "kv-scan-pool", max_queue);
+    }
 }
 
 /// Opens a per-region trace span, capturing the region's I/O counters so
@@ -490,6 +524,39 @@ mod tests {
     #[test]
     fn zero_shards_rejected() {
         assert!(Cluster::open(ClusterOptions::in_memory(0)).is_err());
+    }
+
+    #[test]
+    fn health_probes_cover_regions_and_scan_pool() {
+        let c = cluster(3);
+        let health = trass_obs::HealthRegistry::new();
+        c.register_health_probes(&health);
+        let names: Vec<String> = health.check().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["kv-regions".to_string(), "kv-scan-pool".to_string()]);
+        assert!(health.healthy(), "fresh in-memory cluster must be healthy");
+    }
+
+    #[test]
+    fn region_probe_names_the_failing_shard() {
+        let dir = std::env::temp_dir().join(format!("trass-cluster-health-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let c = Cluster::open(ClusterOptions {
+            shards: 3,
+            store: StoreOptions::at_dir(&dir),
+            ..ClusterOptions::default()
+        })
+        .unwrap();
+        let health = trass_obs::HealthRegistry::new();
+        c.register_health_probes(&health);
+        assert!(health.healthy(), "fresh disk cluster must be healthy");
+        // Yank one region's directory: the probe must fail and say which
+        // shard is broken.
+        std::fs::remove_dir_all(dir.join("region-1")).unwrap();
+        let reports = health.check();
+        let err = reports[0].result.as_ref().expect_err("missing region dir must fail");
+        assert!(err.contains("shard 1"), "{err}");
+        drop(c);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -501,6 +501,36 @@ impl LsmStore {
     pub fn table_entries(&self) -> u64 {
         self.inner.read().tables.iter().map(|t| t.n_entries()).sum()
     }
+
+    /// One-shot health check for liveness/readiness probes.
+    ///
+    /// Fails when the data directory has gone away or read-only (writes
+    /// would start erroring), when a disk-backed store has lost its WAL
+    /// handle (durability is gone even though reads still work), or when
+    /// the SSTable count has run far past the compaction trigger
+    /// (compaction is not keeping up and read amplification is compounding).
+    pub fn health(&self) -> std::result::Result<(), String> {
+        if let Some(dir) = &self.opts.dir {
+            let meta = std::fs::metadata(dir)
+                .map_err(|e| format!("data dir {}: {e}", dir.display()))?;
+            if meta.permissions().readonly() {
+                return Err(format!("data dir {} is read-only", dir.display()));
+            }
+            if self.inner.read().wal.is_none() {
+                return Err("WAL handle lost on a disk-backed store".to_string());
+            }
+        }
+        let tables = self.n_tables();
+        let backlog_limit = (self.opts.compaction_threshold * 4).max(8);
+        if tables > backlog_limit {
+            return Err(format!(
+                "compaction backlog: {tables} SSTables exceeds {backlog_limit} \
+                 (threshold {})",
+                self.opts.compaction_threshold
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Streaming iterator returned by [`LsmStore::scan_snapshot`].
@@ -893,5 +923,56 @@ mod tests {
         s.put("a", "1").unwrap();
         let r = KeyRange::new(&b"x"[..], &b"x"[..]);
         assert!(s.scan(r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn health_reflects_compaction_backlog() {
+        // A live store auto-compacts, so a backlog can only be observed
+        // when the on-disk state already has more tables than a (newly
+        // tightened) threshold allows — exactly the situation after a
+        // config change or a crash loop that kept flushing.
+        let dir = std::env::temp_dir().join(format!("trass-store-backlog-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            // Threshold high enough that auto-compaction never fires.
+            let s = LsmStore::open(StoreOptions {
+                compaction_threshold: 1000,
+                ..StoreOptions::at_dir(&dir)
+            })
+            .unwrap();
+            for i in 0..9 {
+                s.put(format!("key-{i}"), "v").unwrap();
+                s.flush().unwrap();
+            }
+            assert_eq!(s.n_tables(), 9);
+            assert!(s.health().is_ok(), "9 tables is fine at threshold 1000");
+        }
+        let s = LsmStore::open(StoreOptions {
+            compaction_threshold: 2, // backlog limit max(2*4, 8) = 8
+            ..StoreOptions::at_dir(&dir)
+        })
+        .unwrap();
+        let err = s.health().expect_err("9 tables over limit 8 must fail");
+        assert!(err.contains("compaction backlog"), "{err}");
+        s.compact().unwrap();
+        assert!(s.health().is_ok(), "compaction clears the backlog");
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_checks_data_dir_and_wal() {
+        let dir = std::env::temp_dir().join(format!("trass-store-health-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let s = LsmStore::open(StoreOptions::at_dir(&dir)).unwrap();
+        s.put("a", "1").unwrap();
+        assert!(s.health().is_ok(), "disk store with live WAL must be healthy");
+        // Yank the directory out from under the store: writes are doomed,
+        // health must say so.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = s.health().expect_err("missing data dir must fail");
+        assert!(err.contains("data dir"), "{err}");
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -186,7 +186,7 @@ fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h
 
 /// `{k="v",...}` (empty string when there are no labels), optionally with a
 /// trailing `le` label for histogram buckets.
-fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+pub(crate) fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
@@ -214,7 +214,7 @@ fn escape_label(v: &str) -> String {
 }
 
 /// Shortest clean decimal for a metric value.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -222,7 +222,8 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn json_f64(v: f64) -> String {
+/// A JSON number literal (`null` for non-finite values).
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         fmt_f64(v)
     } else {
@@ -230,7 +231,8 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_string(s: &str) -> String {
+/// A JSON string literal with all required escapes.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -288,6 +290,51 @@ mod tests {
         assert_eq!(bucket_lines.len(), 2);
         assert!(bucket_lines[0].ends_with(" 1"));
         assert!(bucket_lines[1].ends_with(" 2"));
+    }
+
+    #[test]
+    fn adversarial_label_values_are_escaped() {
+        let r = Registry::new();
+        // Backslash, double quote, and newline — every character the text
+        // exposition format requires escaping in label values, plus a
+        // value combining all three in escape-order-sensitive sequence.
+        r.counter("c", &[("path", "C:\\temp\\x")]).inc();
+        r.counter("c", &[("msg", "say \"hi\"")]).add(2);
+        r.counter("c", &[("multi", "line1\nline2")]).add(3);
+        r.counter("c", &[("mix", "\\\"\n")]).add(4);
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"c{path="C:\\temp\\x"} 1"#), "backslash:\n{text}");
+        assert!(text.contains(r#"c{msg="say \"hi\""} 2"#), "quote:\n{text}");
+        assert!(text.contains(r#"c{multi="line1\nline2"} 3"#), "newline:\n{text}");
+        // Escape order matters: the backslash must be escaped first, or
+        // the escaped quote/newline would be double-escaped.
+        assert!(text.contains(r#"c{mix="\\\"\n"} 4"#), "mixed:\n{text}");
+        // No raw newline may survive inside any sample line.
+        for line in text.lines() {
+            assert!(
+                line.is_empty() || line.starts_with('#') || line.ends_with(|c: char| c.is_ascii_digit()),
+                "line split by unescaped newline: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_labels_on_histogram_series() {
+        let r = Registry::new();
+        let h = r.timer("h_seconds", &[("q", "a\"b\\c\nd")]);
+        h.record(1_000_000);
+        let text = r.render_prometheus();
+        // The TYPE line is emitted for the histogram family, and every
+        // generated series (_bucket/_sum/_count) carries the escaped label.
+        assert!(text.contains("# TYPE h_seconds histogram"));
+        let escaped = r#"q="a\"b\\c\nd""#;
+        for series in ["h_seconds_bucket{", "h_seconds_sum{", "h_seconds_count{"] {
+            let line = text.lines().find(|l| l.starts_with(series)).expect(series);
+            assert!(line.contains(escaped), "unescaped label in {line}");
+        }
+        // JSON exporter escapes the same values in its own syntax.
+        let json = r.render_json();
+        assert!(json.contains(r#""q":"a\"b\\c\nd""#), "{json}");
     }
 
     #[test]

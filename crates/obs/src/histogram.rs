@@ -174,15 +174,15 @@ impl Histogram {
         self.scale
     }
 
-    /// The value at quantile `q` (clamped to `[0, 1]`): an upper bound of
-    /// the bucket containing the `ceil(q·count)`-th smallest sample,
-    /// further clamped to the observed min/max so `q = 0` and `q = 1`
-    /// return exact extremes. Returns 0 on an empty histogram.
+    /// The value at quantile `q` (clamped to `[0, 1]`; `NaN` is treated as
+    /// 0): an upper bound of the bucket containing the `ceil(q·count)`-th
+    /// smallest sample, further clamped to the observed min/max so `q = 0`
+    /// and `q = 1` return exact extremes. Returns 0 on an empty histogram.
     ///
     /// Monotone in `q` and within 1/32 relative error of the exact
     /// order statistic.
     pub fn value_at_quantile(&self, q: f64) -> u64 {
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         // Walk a consistent snapshot of the buckets.
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
@@ -208,6 +208,17 @@ impl Histogram {
             p99: self.value_at_quantile(0.99),
             p999: self.value_at_quantile(0.999),
         }
+    }
+
+    /// Number of recorded samples `≤ value`, up to bucket resolution: the
+    /// whole bucket containing `value` is counted, so the result can
+    /// overcount by at most the samples sharing that bucket (≤ 1/32
+    /// relative error on the value axis). Monotone in `value`. This is the
+    /// "good events" reader for latency SLOs (`count_at_most(threshold)` /
+    /// `count()`).
+    pub fn count_at_most(&self, value: u64) -> u64 {
+        let idx = Self::index_of(value);
+        self.buckets.iter().take(idx + 1).map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs in
@@ -371,6 +382,56 @@ mod tests {
         // samples are 10; target index ceil(0.99*100)=99 → still 10).
         assert_eq!(h.value_at_quantile(0.99), 10);
         assert_eq!(h.value_at_quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_boundaries_on_empty_histogram() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(h.value_at_quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_boundaries_on_single_sample() {
+        let h = Histogram::new();
+        h.record(42);
+        // Every quantile of a one-sample distribution is that sample.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp_to_extremes() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_quantile(-0.5), h.value_at_quantile(0.0));
+        assert_eq!(h.value_at_quantile(1.5), h.value_at_quantile(1.0));
+        assert_eq!(h.value_at_quantile(f64::NEG_INFINITY), h.min());
+        assert_eq!(h.value_at_quantile(f64::INFINITY), h.max());
+        // NaN is treated as q = 0, not propagated.
+        assert_eq!(h.value_at_quantile(f64::NAN), h.value_at_quantile(0.0));
+    }
+
+    #[test]
+    fn count_at_most_is_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 10, 31, 32, 1000, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.count_at_most(0), 1);
+        assert_eq!(h.count_at_most(31), 4, "exact region counts exactly");
+        assert_eq!(h.count_at_most(u64::MAX), h.count());
+        let mut last = 0;
+        for v in [0u64, 5, 31, 32, 999, 1000, 1 << 20, u64::MAX] {
+            let c = h.count_at_most(v);
+            assert!(c >= last, "count_at_most regressed at {v}");
+            last = c;
+        }
+        assert_eq!(Histogram::new().count_at_most(u64::MAX), 0);
     }
 
     #[test]

@@ -23,6 +23,17 @@
 //! * [`trace`] — sampled per-query span trees ([`TraceCtx`] /
 //!   [`QueryTrace`]) with `EXPLAIN ANALYZE` and JSON renderers, plus a
 //!   [`FlightRecorder`] ring buffer of the last N completed traces.
+//! * [`http`] — an embedded, dependency-free telemetry endpoint
+//!   ([`Telemetry`] / [`HttpServer`]) serving `/metrics`, `/traces`,
+//!   `/slowlog`, `/vars/history`, `/healthz`, and `/readyz` over
+//!   `std::net`.
+//! * [`collector`] — a background thread ([`Collector`]) that samples the
+//!   registry on an interval into fixed-size per-series ring buffers, so
+//!   the endpoint can serve short-horizon rate/delta time series without
+//!   an external TSDB.
+//! * [`health`] — liveness/readiness probes ([`HealthRegistry`]) and
+//!   multi-window SLO burn-rate evaluation ([`SloEvaluator`]) whose
+//!   verdicts drive `/healthz` status codes and `trass_slo_*` gauges.
 //!
 //! Metric name conventions: `trass_query_*` (query pipeline),
 //! `trass_kv_*` (store internals), `trass_ingest_*` (write path);
@@ -32,15 +43,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collector;
 pub mod export;
+pub mod health;
 pub mod histogram;
+pub mod http;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
 pub mod trace;
 
+pub use collector::{Collector, CollectorHandle, CollectorOptions};
 pub use export::{MetricSnapshot, MetricValue};
+pub use health::{
+    HealthRegistry, ProbeReport, SloEvaluator, SloObjective, SloSignal, SloStatus,
+};
 pub use histogram::{Histogram, Percentiles};
+pub use http::{HttpServer, Request, Response, Telemetry, TelemetryOptions, TelemetrySources};
 pub use registry::{Counter, Gauge, Registry};
 pub use slowlog::SlowLog;
 pub use span::{Span, STAGE_HISTOGRAM};

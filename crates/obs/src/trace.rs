@@ -988,6 +988,50 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_json_round_trips_under_concurrent_push() {
+        // Writers push fresh traces while readers snapshot and round-trip
+        // every retained trace through the JSON renderer. Every snapshot
+        // must be a consistent set of fully-formed traces — a torn or
+        // half-written entry would fail the parse or the equality check.
+        let fr = Arc::new(FlightRecorder::new(8));
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let fr = Arc::clone(&fr);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let ctx = TraceCtx::enabled();
+                        let mut root = ctx.root("threshold");
+                        root.set_field("writer", w as u64);
+                        root.set_field("seq", i as u64);
+                        let mut scan = root.child("scan");
+                        scan.set_field("rows_scanned", (w * 100 + i) as u64);
+                        scan.finish();
+                        root.finish();
+                        fr.push(Arc::new(ctx.finish().expect("enabled trace")));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let fr = Arc::clone(&fr);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        for t in fr.snapshot() {
+                            let back =
+                                QueryTrace::from_json(&t.render_json()).expect("round-trip");
+                            assert_eq!(&back, t.as_ref());
+                            assert_eq!(back.root.span_count(), 2);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.len(), 8, "recorder should be full after 100 pushes");
+        for t in fr.snapshot() {
+            assert_eq!(QueryTrace::from_json(&t.render_json()).expect("parse").root.name, "threshold");
+        }
+    }
+
+    #[test]
     fn duration_override_wins() {
         let ctx = TraceCtx::enabled();
         let root = ctx.root("q");
