@@ -18,7 +18,11 @@
 //!
 //! The gate compares wall-clock medians, so the baseline is only
 //! meaningful on comparable hardware; refresh it with `--update-baseline`
-//! whenever the CI runner class or an intentional perf change lands.
+//! whenever the CI runner class or an intentional perf change lands. The
+//! baseline records the core count of the host that produced it; when the
+//! current host's core count differs, regressions are reported as
+//! warnings instead of failing the gate (medians from differently-sized
+//! machines are not comparable).
 //! The JSON here is written and parsed by hand: the gate's file format is
 //! a deliberately flat `"key": number` map so the comparison logic cannot
 //! drift from what the artifact holds.
@@ -85,12 +89,7 @@ pub fn run(quick: bool, update_baseline: bool) {
     let results: Vec<GateResult> = seq
         .into_iter()
         .zip(par)
-        .map(|(s, p)| GateResult {
-            name: s.0,
-            p50: p.1,
-            p99: p.2,
-            p50_sequential: s.1,
-        })
+        .map(|(s, p)| GateResult { name: s.0, p50: p.1, p99: p.2, p50_sequential: s.1 })
         .collect();
 
     for r in &results {
@@ -120,7 +119,7 @@ pub fn run(quick: bool, update_baseline: bool) {
         if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
             std::fs::create_dir_all(dir).expect("create bench dir");
         }
-        std::fs::write(BASELINE_PATH, render_baseline(&results)).expect("write baseline");
+        std::fs::write(BASELINE_PATH, render_baseline(&results, cores)).expect("write baseline");
         println!("updated {BASELINE_PATH}");
         return;
     }
@@ -136,12 +135,29 @@ pub fn run(quick: bool, update_baseline: bool) {
         }
     };
     let tolerance = tolerance();
+    // A baseline taken on a differently-sized host cannot gate this run:
+    // parallel medians scale with the core budget. Downgrade to warnings.
+    let warn_only = match baseline_host_cores(&baseline) {
+        Some(base_cores) if cores > 0 && base_cores != cores => Some(base_cores),
+        _ => None,
+    };
     match check_against_baseline(&results, &baseline, tolerance) {
         Ok(lines) => {
             for l in lines {
                 println!("  {l}");
             }
             println!("perf gate: OK (tolerance +{:.0}%)", tolerance * 100.0);
+        }
+        Err(failures) if warn_only.is_some() => {
+            for f in failures {
+                eprintln!("  WARN (not gating): {f}");
+            }
+            eprintln!(
+                "perf gate: warn-only — baseline was taken on a {}-core host, this host \
+                 has {cores}; medians are not comparable. Refresh {BASELINE_PATH} with \
+                 --update-baseline on the CI runner class to re-arm the gate.",
+                warn_only.unwrap_or(0)
+            );
         }
         Err(failures) => {
             for f in failures {
@@ -155,6 +171,16 @@ pub fn run(quick: bool, update_baseline: bool) {
             std::process::exit(1);
         }
     }
+}
+
+/// The core count recorded in a baseline, when present (older baselines
+/// predate the field and always gate).
+pub fn baseline_host_cores(baseline: &str) -> Option<usize> {
+    parse_flat_numbers(baseline)
+        .iter()
+        .find(|(k, _)| k == "host_cores")
+        .map(|&(_, v)| v as usize)
+        .filter(|&c| c > 0)
 }
 
 /// The gate's regression tolerance (`TRASS_BENCH_TOLERANCE`, default 0.25).
@@ -178,10 +204,7 @@ fn measure_all(
     let store = build_store(data, threads);
     let th = harness::run_trass_threshold(&store, queries, eps, Measure::Frechet);
     let tk = harness::run_trass_topk(&store, queries, k, Measure::Frechet);
-    vec![
-        ("threshold", th.median_time, th.p99_time),
-        ("topk", tk.median_time, tk.p99_time),
-    ]
+    vec![("threshold", th.median_time, th.p99_time), ("topk", tk.median_time, tk.p99_time)]
 }
 
 fn build_store(data: &[Trajectory], threads: usize) -> TrajectoryStore {
@@ -234,9 +257,12 @@ fn render_report(results: &[GateResult], mode: &str, host_cores: usize) -> Strin
     out
 }
 
-/// Renders `bench/baseline.json` — the flat map the gate compares against.
-fn render_baseline(results: &[GateResult]) -> String {
+/// Renders `bench/baseline.json` — the flat map the gate compares against,
+/// stamped with the producing host's core count so mismatched hosts gate
+/// in warn-only mode.
+fn render_baseline(results: &[GateResult], host_cores: usize) -> String {
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  \"{}_p50_ms\": {:.4}{}\n",
@@ -310,9 +336,8 @@ fn parse_flat_numbers(s: &str) -> Vec<(String, f64)> {
             rest = &inner[q + 1..];
             continue;
         }
-        let end = val
-            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-            .unwrap_or(val.len());
+        let end =
+            val.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(val.len());
         if let Ok(n) = val[..end].parse::<f64>() {
             out.push((key.to_string(), n));
         }
@@ -337,13 +362,25 @@ mod tests {
     #[test]
     fn parse_flat_numbers_roundtrips_baseline() {
         let results = vec![result("threshold", 1.5, 4.5), result("topk", 8.0, 12.0)];
-        let rendered = render_baseline(&results);
+        let rendered = render_baseline(&results, 4);
         let parsed = parse_flat_numbers(&rendered);
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].0, "threshold_p50_ms");
-        assert!((parsed[0].1 - 1.5).abs() < 1e-9);
-        assert_eq!(parsed[1].0, "topk_p50_ms");
-        assert!((parsed[1].1 - 8.0).abs() < 1e-9);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].0, "host_cores");
+        assert_eq!(parsed[0].1, 4.0);
+        assert_eq!(parsed[1].0, "threshold_p50_ms");
+        assert!((parsed[1].1 - 1.5).abs() < 1e-9);
+        assert_eq!(parsed[2].0, "topk_p50_ms");
+        assert!((parsed[2].1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_host_cores_reads_the_stamp() {
+        let rendered = render_baseline(&[result("threshold", 1.5, 4.5)], 6);
+        assert_eq!(baseline_host_cores(&rendered), Some(6));
+        // Older baselines predate the field: absent means "always gate".
+        assert_eq!(baseline_host_cores("{\n  \"threshold_p50_ms\": 1.0\n}\n"), None);
+        // A zero stamp (host couldn't say) never downgrades the gate.
+        assert_eq!(baseline_host_cores("{\n  \"host_cores\": 0\n}\n"), None);
     }
 
     #[test]

@@ -64,6 +64,64 @@ pub fn run() {
     }
 }
 
+/// Continuous-profiling demo (`repro profile`): runs the demo workload and
+/// prints the flight recorder folded into collapsed-stack format under all
+/// three weights (wall / alloc / cpu). The same folding backs the
+/// telemetry endpoint's `/profile` route; the files written here feed
+/// straight into `inferno-flamegraph` / speedscope.
+pub fn profile() {
+    let ds = datasets::gaussian();
+    let store = collect(&ds, datasets::n_queries());
+    // The sampler traces 1-in-N queries; explain one threshold query so
+    // the flight recorder is never empty even for tiny query batches.
+    let q = datasets::queries(&ds, 1);
+    if let Some(q) = q.first() {
+        store
+            .explain(trass_core::store::ExplainQuery::Threshold {
+                query: q,
+                eps: 0.01,
+                measure: Measure::Frechet,
+            })
+            .expect("explain");
+    }
+
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    println!("\n== profile ==");
+    println!("{} traces in the flight recorder", store.flight_recorder().len());
+    for weight in ["wall", "alloc", "cpu"] {
+        let w = trass_obs::ProfileWeight::parse(weight).expect("known weight");
+        let folded = trass_obs::profile::render_flight(store.flight_recorder(), w);
+        let path = dir.join(format!("profile_{weight}.folded"));
+        std::fs::write(&path, &folded).expect("write folded profile");
+        println!(
+            "\n{} collapsed stacks ({} lines) -> {}",
+            weight,
+            folded.lines().count(),
+            path.display()
+        );
+        print!("{folded}");
+    }
+}
+
+/// Workload-analytics demo (`repro workload`): runs the demo workload and
+/// prints the per-fingerprint summary — one row per normalised query
+/// shape with counts, latency percentiles, scan volume, and prune ratio.
+/// The same summary backs the telemetry endpoint's `/workload` route.
+pub fn workload() {
+    let ds = datasets::gaussian();
+    let store = collect(&ds, datasets::n_queries());
+
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let json = store.workload().render_json();
+    std::fs::write(dir.join("workload.json"), &json).expect("write workload.json");
+
+    println!("\n== workload ==");
+    print!("{}", store.workload().render_text());
+    println!("\nJSON -> {}", dir.join("workload.json").display());
+}
+
 /// Runs the demo workload and then stays up behind the embedded telemetry
 /// endpoint (`repro obs --serve`): prints the bound address and keeps a
 /// light query loop going so scrapes of `/metrics`, `/healthz` and friends
@@ -75,7 +133,10 @@ pub fn serve() {
     let telemetry = store.serve_telemetry().expect("bind telemetry endpoint");
     // Single parseable line first (CI greps for it), then the route list.
     println!("telemetry listening on http://{}", telemetry.local_addr());
-    println!("routes: /metrics /metrics.json /traces /slowlog /vars/history /healthz /readyz");
+    println!(
+        "routes: /metrics /metrics.json /traces /slowlog /profile /workload \
+         /vars/history /healthz /readyz"
+    );
     println!("serving until killed (Ctrl-C)");
     std::io::stdout().flush().expect("flush stdout");
 
@@ -132,5 +193,30 @@ mod tests {
         assert!(json.contains("trass_kv_region_scans"));
         // Slow-query log captured the workload.
         assert!(store.slow_queries().len() >= 3);
+    }
+
+    #[test]
+    fn demo_workload_aggregates_distinct_fingerprints() {
+        let ds = Dataset {
+            name: "Gaussian",
+            data: generator::gaussian_like(45, 120),
+            extent: generator::BEIJING,
+        };
+        let store = collect(&ds, 3);
+        // Threshold, top-k and range queries ran: at least two distinct
+        // shapes must aggregate separately.
+        assert!(store.workload().len() >= 2, "{}", store.workload().render_text());
+        let json = store.workload().render_json();
+        assert!(json.contains("threshold|frechet"), "missing threshold shape: {json}");
+        assert!(json.contains("topk|frechet"), "missing topk shape: {json}");
+        // Folding the flight recorder under every weight never panics and
+        // wall folding is non-empty whenever a trace was sampled.
+        for w in [
+            trass_obs::ProfileWeight::Wall,
+            trass_obs::ProfileWeight::Alloc,
+            trass_obs::ProfileWeight::Cpu,
+        ] {
+            let _ = trass_obs::profile::render_flight(store.flight_recorder(), w);
+        }
     }
 }

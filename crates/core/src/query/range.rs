@@ -36,7 +36,11 @@ pub(crate) fn range_search_traced(
     window: &Mbr,
     ctx: TraceCtx,
 ) -> Result<(SearchResult, Option<Arc<QueryTrace>>), KvError> {
+    let alloc_mark = trass_obs::alloc::thread_alloc_snapshot();
     let mut root = ctx.root("range");
+    if root.is_enabled() {
+        root.set_label("trace_id", &store.next_trace_id().to_string());
+    }
     let t_all = Instant::now();
     let mut stats = QueryStats::default();
     let config = store.config();
@@ -141,7 +145,14 @@ pub(crate) fn range_search_traced(
     }
     root.finish();
     let trace = store.finish_trace(ctx);
-    store.record_query("range", detail, &stats, trace.clone());
+    store.record_query(
+        "range",
+        detail,
+        &stats,
+        trace.clone(),
+        trass_obs::QueryFingerprint::range(stats.n_ranges),
+        trass_obs::alloc::thread_alloc_snapshot().since(&alloc_mark).bytes,
+    );
     Ok((SearchResult { results, stats }, trace))
 }
 

@@ -45,9 +45,15 @@ pub(crate) fn threshold_search_traced(
     measure: Measure,
     ctx: TraceCtx,
 ) -> Result<(SearchResult, Option<Arc<QueryTrace>>), KvError> {
+    // Driver-thread allocation delta over the whole query; feeds the
+    // per-fingerprint workload summary.
+    let alloc_mark = trass_obs::alloc::thread_alloc_snapshot();
     let mut root = ctx.root("threshold");
     root.set_label("measure", &measure.to_string());
     root.set_field("eps", eps);
+    if root.is_enabled() {
+        root.set_label("trace_id", &store.next_trace_id().to_string());
+    }
     let result = match threshold_search_impl(store, query, eps, measure, None, &root) {
         Ok(result) => result,
         Err(e) => {
@@ -63,6 +69,8 @@ pub(crate) fn threshold_search_traced(
         format!("eps={eps} measure={measure} results={}", result.results.len()),
         &result.stats,
         trace.clone(),
+        trass_obs::QueryFingerprint::threshold(&measure.to_string(), eps, query.points().len()),
+        trass_obs::alloc::thread_alloc_snapshot().since(&alloc_mark).bytes,
     );
     Ok((result, trace))
 }

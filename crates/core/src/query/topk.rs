@@ -59,9 +59,13 @@ pub(crate) fn top_k_search_traced(
     measure: Measure,
     ctx: TraceCtx,
 ) -> Result<(SearchResult, Option<Arc<QueryTrace>>), KvError> {
+    let alloc_mark = trass_obs::alloc::thread_alloc_snapshot();
     let mut root = ctx.root("topk");
     root.set_label("measure", &measure.to_string());
     root.set_field("k", k);
+    if root.is_enabled() {
+        root.set_label("trace_id", &store.next_trace_id().to_string());
+    }
     if k == 0 {
         root.finish();
         let trace = store.finish_trace(ctx);
@@ -99,13 +103,14 @@ pub(crate) fn top_k_search_traced(
         // hits are recorded, so `results.len() >= k` already holds
         // whenever anything was skipped.
         let round_bound = TopKBound::new(k);
-        let round = match threshold_search_impl(store, query, eps, measure, Some(&round_bound), &rspan) {
-            Ok(round) => round,
-            Err(e) => {
-                store.record_query_error("topk");
-                return Err(e);
-            }
-        };
+        let round =
+            match threshold_search_impl(store, query, eps, measure, Some(&round_bound), &rspan) {
+                Ok(round) => round,
+                Err(e) => {
+                    store.record_query_error("topk");
+                    return Err(e);
+                }
+            };
         rspan.set_field("candidates", round.stats.candidates);
         rspan.set_field("results", round.results.len());
         rspan.finish();
@@ -148,6 +153,8 @@ pub(crate) fn top_k_search_traced(
                 ),
                 &stats,
                 trace.clone(),
+                trass_obs::QueryFingerprint::topk(&measure.to_string(), k, query.points().len()),
+                trass_obs::alloc::thread_alloc_snapshot().since(&alloc_mark).bytes,
             );
             return Ok((SearchResult { results, stats }, trace));
         }

@@ -3,15 +3,17 @@
 use crate::config::TrassConfig;
 use crate::schema::{rowkey, shard_of, RowValue};
 use crate::stats::{QueryStats, SearchResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use trass_exec::ScopedPool;
 use trass_geo::{Mbr, Point};
 use trass_index::xzstar::{IndexSpace, XzStar};
-use trass_exec::ScopedPool;
 use trass_kv::{Cluster, ClusterOptions, KvError};
 use trass_obs::{
-    Counter, FlightRecorder, HealthRegistry, Histogram, QueryTrace, Registry, SloObjective,
-    SlowLog, Telemetry, TelemetryOptions, TelemetrySources, TraceCtx, TraceSampler,
+    Counter, FlightRecorder, HealthRegistry, Histogram, QueryFingerprint, QueryTrace, Registry,
+    SloObjective, SlowLog, Telemetry, TelemetryOptions, TelemetrySources, TraceCtx, TraceSampler,
+    WorkloadStats, WorkloadSummary,
 };
 use trass_traj::{DpFeatures, Measure, Trajectory, TrajectoryId};
 
@@ -101,6 +103,12 @@ pub struct TrajectoryStore {
     /// Worker pool for candidate refinement (`config.query_threads`
     /// workers; `1` refines inline on the query thread).
     refine_pool: ScopedPool,
+    /// Per-fingerprint workload aggregation (shared with the telemetry
+    /// endpoint's `/workload` route).
+    workload: Arc<WorkloadSummary>,
+    /// Monotonic id handed to traced queries; the root span carries it as
+    /// the `trace_id` label so slow-log entries can name their trace.
+    trace_seq: AtomicU64,
     ingest_seconds: Arc<Histogram>,
     ingest_rows: Arc<Counter>,
     query_obs: QueryObs,
@@ -170,6 +178,8 @@ impl TrajectoryStore {
             tracer: TraceSampler::every(config.trace_sample_every),
             flight: Arc::new(FlightRecorder::new(FLIGHT_RECORDER_CAPACITY)),
             refine_pool: ScopedPool::with_registry(config.query_threads, &registry, "refine"),
+            workload: Arc::new(WorkloadSummary::new(config.workload_fingerprints)),
+            trace_seq: AtomicU64::new(0),
             config,
             index,
             cluster,
@@ -214,6 +224,12 @@ impl TrajectoryStore {
         &self.flight
     }
 
+    /// Per-fingerprint workload summary: every finished query is
+    /// normalised into a shape fingerprint and aggregated here.
+    pub fn workload(&self) -> &WorkloadSummary {
+        &self.workload
+    }
+
     /// Starts the embedded telemetry endpoint with default options: bound
     /// to [`TrassConfig::telemetry_addr`] (or an ephemeral localhost port
     /// when unset), 1 s collection interval, 2 min of history, and the
@@ -223,8 +239,7 @@ impl TrajectoryStore {
     /// The returned [`Telemetry`] owns the server and collector threads;
     /// dropping it (or calling [`Telemetry::shutdown`]) stops both.
     pub fn serve_telemetry(&self) -> std::io::Result<Telemetry> {
-        let addr =
-            self.config.telemetry_addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+        let addr = self.config.telemetry_addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
         self.serve_telemetry_with(TelemetryOptions {
             addr,
             objectives: Self::default_slo_objectives(),
@@ -239,13 +254,21 @@ impl TrajectoryStore {
         self.cluster.register_health_probes(&health);
         self.refine_pool.register_health_probe(&health, "refine-pool", 256);
         let slow = Arc::clone(&self.slow_queries);
+        // Each scrape refreshes the cluster's I/O counters and the
+        // stage-tagged allocation/CPU accounting in the same pass.
+        let publish_cluster = self.cluster.metrics_publisher();
+        let registry = Arc::clone(&self.registry);
         Telemetry::serve(
             opts,
             TelemetrySources {
                 registry: Arc::clone(&self.registry),
-                refresh: Some(self.cluster.metrics_publisher()),
+                refresh: Some(Arc::new(move || {
+                    publish_cluster();
+                    trass_obs::alloc::publish(&registry);
+                })),
                 flight: Some(Arc::clone(&self.flight)),
-                slowlog: Some(Arc::new(move || render_slowlog(&slow))),
+                slowlog: Some(Arc::new(move |json| render_slowlog(&slow, json))),
+                workload: Some(Arc::clone(&self.workload)),
                 health,
             },
         )
@@ -311,19 +334,40 @@ impl TrajectoryStore {
         Some(trace)
     }
 
-    /// Counts a finished query and offers it to the slow-query log (with
-    /// its trace attached when one was recorded). Called by the query
-    /// drivers.
+    /// The next trace id. Assigned to sampled/explained queries only, so
+    /// ids stay dense across the traces that actually exist.
+    pub(crate) fn next_trace_id(&self) -> u64 {
+        self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Counts a finished query, folds it into the per-fingerprint workload
+    /// summary, and offers it to the slow-query log (with its trace
+    /// attached when one was recorded). Called by the query drivers.
+    /// `alloc_bytes` is the driver-thread allocation delta over the whole
+    /// query (0 when the counting allocator is not installed).
     pub(crate) fn record_query(
         &self,
         kind: &'static str,
         detail: String,
         stats: &QueryStats,
         trace: Option<Arc<QueryTrace>>,
+        fingerprint: QueryFingerprint,
+        alloc_bytes: u64,
     ) {
         self.registry.counter("trass_queries", &[("kind", kind)]).inc();
         self.query_obs.queries_total.inc();
         self.query_obs.query_seconds.record_duration(stats.total_time());
+        self.workload.record(
+            &fingerprint,
+            &WorkloadStats {
+                latency: stats.total_time(),
+                bytes_scanned: stats.io.bytes_read,
+                retrieved: stats.retrieved,
+                candidates: stats.candidates,
+                results: stats.results,
+                alloc_bytes,
+            },
+        );
         self.slow_queries.record(
             stats.total_time().as_nanos() as u64,
             SlowQueryRecord { kind, detail, stats: stats.clone(), trace },
@@ -344,6 +388,7 @@ impl TrajectoryStore {
     /// registry (so the scrape sees fresh per-shard values).
     pub fn render_prometheus(&self) -> String {
         self.cluster.publish_metrics();
+        trass_obs::alloc::publish(&self.registry);
         self.registry.render_prometheus()
     }
 
@@ -351,6 +396,7 @@ impl TrajectoryStore {
     /// [`TrajectoryStore::render_prometheus`]).
     pub fn render_json(&self) -> String {
         self.cluster.publish_metrics();
+        trass_obs::alloc::publish(&self.registry);
         self.registry.render_json()
     }
 
@@ -455,10 +501,35 @@ impl TrajectoryStore {
     }
 }
 
-/// Renders the slow-query log as a plain-text report (the telemetry
-/// endpoint's `/slowlog` route).
-fn render_slowlog(log: &SlowLog<SlowQueryRecord>) -> String {
+/// Renders the slow-query log for the telemetry endpoint's `/slowlog`
+/// route: a plain-text report, or (`json = true`) a JSON array whose
+/// entries carry the id of their attached trace (`null` when the query
+/// ran untraced) for cross-referencing against `/traces`.
+fn render_slowlog(log: &SlowLog<SlowQueryRecord>, json: bool) -> String {
     let entries = log.snapshot();
+    if json {
+        let mut out = String::from("[");
+        for (i, (nanos, rec)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let trace_id = rec
+                .trace
+                .as_ref()
+                .and_then(|t| t.root.label("trace_id").map(str::to_string))
+                .unwrap_or_else(|| "null".to_string());
+            out.push_str(&format!(
+                "{{\"rank\":{},\"total_ms\":{:.3},\"kind\":\"{}\",\"detail\":\"{}\",\"trace_id\":{}}}",
+                i + 1,
+                *nanos as f64 / 1e6,
+                rec.kind,
+                escape_json(&rec.detail),
+                trace_id,
+            ));
+        }
+        out.push_str("]\n");
+        return out;
+    }
     if entries.is_empty() {
         return "slow-query log: empty\n".to_string();
     }
@@ -472,6 +543,23 @@ fn render_slowlog(log: &SlowLog<SlowQueryRecord>) -> String {
             rec.detail,
             if rec.trace.is_some() { "  [traced]" } else { "" },
         ));
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
     out
 }

@@ -1,0 +1,152 @@
+//! End-to-end checks of the continuous-profiling layer: stage-tagged
+//! allocation/CPU accounting in EXPLAIN output, flame-graph folding of
+//! the flight recorder, and per-fingerprint workload analytics.
+
+use trass_core::config::TrassConfig;
+use trass_core::query;
+use trass_core::store::{ExplainQuery, TrajectoryStore};
+use trass_geo::{Mbr, Point};
+use trass_obs::{ProfileWeight, WorkloadTotals};
+use trass_traj::{Measure, Trajectory};
+
+// The accounting only engages when the counting allocator is the process
+// allocator — exactly how the shipped binaries install it.
+#[global_allocator]
+static ALLOC: trass_obs::CountingAlloc = trass_obs::CountingAlloc::system();
+
+fn traj(id: u64, base: (f64, f64), n: usize) -> Trajectory {
+    Trajectory::new(
+        id,
+        (0..n)
+            .map(|i| Point::new(base.0 + i as f64 * 0.001, base.1 + (i % 3) as f64 * 0.0005))
+            .collect(),
+    )
+}
+
+fn populated_store(query_threads: usize) -> TrajectoryStore {
+    let cfg = TrassConfig {
+        query_threads,
+        // The flight recorder should hold exactly the explains below.
+        trace_sample_every: 0,
+        ..TrassConfig::default()
+    };
+    let store = TrajectoryStore::open(cfg).unwrap();
+    for i in 0..40 {
+        store.insert(&traj(i, (116.30 + (i % 5) as f64 * 0.01, 39.90), 12)).unwrap();
+    }
+    store.flush().unwrap();
+    store
+}
+
+/// Runs a small mixed workload: several threshold shapes, a top-k, and a
+/// range query.
+fn run_workload(store: &TrajectoryStore) {
+    let q_small = traj(1000, (116.30, 39.90), 12);
+    let q_long = traj(1001, (116.31, 39.90), 40);
+    for eps in [0.002, 0.0021, 0.0022] {
+        query::threshold_search(store, &q_small, eps, Measure::Frechet).unwrap();
+    }
+    query::threshold_search(store, &q_long, 0.004, Measure::Hausdorff).unwrap();
+    query::top_k_search(store, &q_small, 5, Measure::Frechet).unwrap();
+    query::range_search(store, &Mbr::new(116.29, 39.89, 116.35, 39.92)).unwrap();
+}
+
+#[test]
+fn explain_reports_per_span_alloc_and_cpu() {
+    let store = populated_store(2);
+    let q = traj(1000, (116.30, 39.90), 12);
+    let explained = store
+        .explain(ExplainQuery::Threshold { query: &q, eps: 0.002, measure: Measure::Frechet })
+        .unwrap();
+    let root = &explained.trace.root;
+
+    // The root span accounts the driver thread's allocations over the
+    // whole query: never zero (pruning alone builds range vectors).
+    assert!(root.field_u64("alloc_bytes").unwrap() > 0, "{root:?}");
+    assert!(root.field_u64("allocs").unwrap() > 0);
+    // Stage children carry their own attribution.
+    let pruning = root.child("pruning").unwrap();
+    assert!(pruning.field_u64("alloc_bytes").unwrap() > 0);
+    // CPU deltas appear whenever the platform exposes per-thread CPU.
+    if trass_obs::alloc::cpu_supported() {
+        assert!(root.field_u64("cpu_ns").is_some());
+    }
+    // Traced queries are identified for slow-log cross-referencing.
+    assert!(root.label("trace_id").is_some());
+    // Both renderings surface the accounting.
+    let text = explained.trace.render_text();
+    assert!(text.contains("alloc_bytes="), "missing alloc in:\n{text}");
+    let json = explained.trace.render_json();
+    assert!(json.contains("alloc_bytes"), "missing alloc in:\n{json}");
+}
+
+#[test]
+fn folded_wall_weights_sum_to_trace_durations() {
+    let store = populated_store(4);
+    let q = traj(1000, (116.30, 39.90), 12);
+    for eps in [0.002, 0.004] {
+        store
+            .explain(ExplainQuery::Threshold { query: &q, eps, measure: Measure::Frechet })
+            .unwrap();
+    }
+    store.explain(ExplainQuery::Range { window: Mbr::new(116.29, 39.89, 116.35, 39.92) }).unwrap();
+
+    let traces = store.flight_recorder().snapshot();
+    assert_eq!(traces.len(), 3);
+    let expected: f64 = traces.iter().map(|t| t.root.duration_ns as f64).sum();
+    let folded = trass_obs::profile::render_flight(store.flight_recorder(), ProfileWeight::Wall);
+    assert!(!folded.is_empty());
+    let total: f64 = folded
+        .lines()
+        .map(|l| l.rsplit_once(' ').expect("stack weight").1.parse::<f64>().unwrap())
+        .sum();
+    let err = (total - expected).abs() / expected;
+    assert!(
+        err < 0.01,
+        "folded wall total {total} vs trace total {expected} ({:.3}% off)\n{folded}",
+        err * 100.0
+    );
+    // Parallel region scans overlap in wall time; the per-trace rescaling
+    // must keep every line non-negative.
+    for line in folded.lines() {
+        let (stack, w) = line.rsplit_once(' ').unwrap();
+        assert!(w.parse::<f64>().unwrap() >= 0.0, "negative weight on {stack}");
+    }
+}
+
+#[test]
+fn workload_summary_aggregates_distinct_fingerprints() {
+    let store = populated_store(2);
+    run_workload(&store);
+    let summary = store.workload();
+    assert!(summary.len() >= 3, "expected >= 3 shapes:\n{}", summary.render_text());
+    let shapes = summary.fingerprints();
+    // Jittered thresholds fold into one shape; kinds never collide.
+    assert_eq!(shapes.iter().filter(|s| s.starts_with("threshold|frechet")).count(), 1);
+    assert!(shapes.iter().any(|s| s.starts_with("threshold|hausdorff")));
+    assert!(shapes.iter().any(|s| s.starts_with("topk|")));
+    assert!(shapes.iter().any(|s| s.starts_with("range|")));
+    // The busiest shape (the three jittered thresholds) leads.
+    let json = summary.render_json();
+    assert!(json.contains("\"count\":3") || json.contains("\"count\": 3"), "{json}");
+    let first = json.find("threshold|frechet").unwrap();
+    assert!(
+        shapes.iter().skip(1).all(|s| json.find(s.as_str()).unwrap() > first),
+        "busiest shape must sort first:\n{json}"
+    );
+}
+
+#[test]
+fn attribution_totals_identical_across_thread_counts() {
+    let totals: Vec<WorkloadTotals> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let store = populated_store(threads);
+            run_workload(&store);
+            store.workload().totals()
+        })
+        .collect();
+    assert_eq!(totals[0], totals[1], "attribution totals must not depend on the thread count");
+    assert!(totals[0].count >= 6);
+    assert!(totals[0].retrieved > 0);
+}

@@ -211,10 +211,23 @@ impl Cluster {
         // runs inline on the calling thread with no fan-out at all.
         let results: Vec<Result<Vec<Entry>>> = self.pool.run(tasks, |_, (shard, span)| {
             let region = &self.regions[shard];
+            // Resource marks for the span's alloc/cpu fields, taken here
+            // on the worker thread — the span was opened on the caller's
+            // thread, so it cannot self-report these deltas at finish.
+            let marks = span.as_ref().map(|_| {
+                (trass_obs::alloc::thread_alloc_snapshot(), trass_obs::alloc::thread_cpu_ns())
+            });
+            let io_before = region.metrics().snapshot();
             let t = Instant::now();
             let r = scan_region(region, &per_shard[shard], filter);
             self.scan_obs[shard].seconds.record_duration(t.elapsed());
-            finish_region_span(span, region, &r);
+            // Attribute this scan's read bytes to the active stage
+            // ("scan" for queries — the pool propagates the caller's
+            // stage tag into this worker).
+            trass_obs::alloc::charge_bytes_scanned(
+                region.metrics().snapshot().since(&io_before).bytes_read,
+            );
+            finish_region_span(span, marks, region, &r);
             r
         });
         let mut out = Vec::new();
@@ -316,9 +329,12 @@ fn region_span(
 /// Records the scan's per-region I/O deltas and row count into the span
 /// opened by [`region_span`]. Deltas are computed from the region's shared
 /// counters, so concurrent queries on the same region can inflate them;
-/// rows_returned comes from this scan's own result and is exact.
+/// rows_returned comes from this scan's own result and is exact. `marks`
+/// carries the worker thread's alloc/CPU readings from just before the
+/// scan, recorded as explicit `alloc_bytes`/`allocs`/`cpu_ns` fields.
 fn finish_region_span(
     span: Option<(TraceSpan, MetricsSnapshot)>,
+    marks: Option<(trass_obs::alloc::AllocSnapshot, Option<u64>)>,
     region: &LsmStore,
     result: &Result<Vec<Entry>>,
 ) {
@@ -334,6 +350,16 @@ fn finish_region_span(
     span.set_field("bloom_probes", delta.bloom_probes);
     span.set_field("cache_hits", delta.cache_hits);
     span.set_field("cache_misses", delta.cache_misses);
+    if let Some((alloc_before, cpu_before)) = marks {
+        if trass_obs::alloc::allocator_installed() {
+            let d = trass_obs::alloc::thread_alloc_snapshot().since(&alloc_before);
+            span.set_field("alloc_bytes", d.bytes);
+            span.set_field("allocs", d.count);
+        }
+        if let (Some(c0), Some(c1)) = (cpu_before, trass_obs::alloc::thread_cpu_ns()) {
+            span.set_field("cpu_ns", c1.saturating_sub(c0));
+        }
+    }
     span.finish();
 }
 

@@ -312,7 +312,9 @@ mod tests {
         // No raw newline may survive inside any sample line.
         for line in text.lines() {
             assert!(
-                line.is_empty() || line.starts_with('#') || line.ends_with(|c: char| c.is_ascii_digit()),
+                line.is_empty()
+                    || line.starts_with('#')
+                    || line.ends_with(|c: char| c.is_ascii_digit()),
                 "line split by unescaped newline: {line:?}"
             );
         }

@@ -15,7 +15,10 @@
 //! | `/metrics`      | Prometheus text exposition                           |
 //! | `/metrics.json` | JSON snapshot of the registry                        |
 //! | `/traces`       | flight-recorder dump (`?format=json` for JSON)       |
-//! | `/slowlog`      | the slow-query log                                   |
+//! | `/slowlog`      | the slow-query log (`?format=json` for JSON)         |
+//! | `/profile`      | collapsed-stack flame-graph lines folded from the    |
+//! |                 | flight recorder (`?weight=wall\|alloc\|cpu`)         |
+//! | `/workload`     | per-fingerprint workload summary (`?format=json`)    |
 //! | `/vars/history` | collector ring buffers as rate/delta time series     |
 //! | `/healthz`      | probes + SLO verdicts; 503 on failure or burn breach |
 //! | `/readyz`       | probes only; 503 on failure                          |
@@ -272,10 +275,13 @@ pub struct TelemetrySources {
     /// Runs before every scrape and collector sample (mirror external
     /// counters into the registry here).
     pub refresh: Option<Arc<dyn Fn() + Send + Sync>>,
-    /// Flight recorder behind `/traces`.
+    /// Flight recorder behind `/traces` and `/profile`.
     pub flight: Option<Arc<FlightRecorder>>,
-    /// Renders the slow-query log for `/slowlog`.
-    pub slowlog: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+    /// Renders the slow-query log for `/slowlog`; the argument selects
+    /// JSON (`true`, for `?format=json`) or text rendering.
+    pub slowlog: Option<Arc<dyn Fn(bool) -> String + Send + Sync>>,
+    /// Workload summary behind `/workload`.
+    pub workload: Option<Arc<crate::fingerprint::WorkloadSummary>>,
     /// Probes behind `/healthz` and `/readyz`.
     pub health: Arc<HealthRegistry>,
 }
@@ -285,6 +291,7 @@ impl std::fmt::Debug for TelemetrySources {
         f.debug_struct("TelemetrySources")
             .field("flight", &self.flight.is_some())
             .field("slowlog", &self.slowlog.is_some())
+            .field("workload", &self.workload.is_some())
             .field("probes", &self.health.len())
             .finish()
     }
@@ -351,7 +358,7 @@ fn router(sources: TelemetrySources, collector: Arc<Collector>, slo: Arc<SloEval
     Arc::new(move |req: &Request| {
         match req.path.as_str() {
             "/" => Response::text(
-                "trass telemetry\n\n/metrics\n/metrics.json\n/traces\n/slowlog\n/vars/history\n/healthz\n/readyz\n",
+                "trass telemetry\n\n/metrics\n/metrics.json\n/traces\n/slowlog\n/profile\n/workload\n/vars/history\n/healthz\n/readyz\n",
             ),
             "/metrics" => {
                 if let Some(refresh) = &sources.refresh {
@@ -388,7 +395,40 @@ fn router(sources: TelemetrySources, collector: Arc<Collector>, slo: Arc<SloEval
             },
             "/slowlog" => match &sources.slowlog {
                 None => Response::status(404, "no slow-query log attached\n"),
-                Some(render) => Response::text(render()),
+                Some(render) => {
+                    if req.query_has("format", "json") {
+                        Response::json(render(true))
+                    } else {
+                        Response::text(render(false))
+                    }
+                }
+            },
+            "/profile" => match &sources.flight {
+                None => Response::status(404, "no flight recorder attached\n"),
+                Some(flight) => {
+                    let weight = req
+                        .query
+                        .split('&')
+                        .find_map(|kv| kv.strip_prefix("weight="))
+                        .unwrap_or("wall");
+                    match crate::profile::ProfileWeight::parse(weight) {
+                        None => Response::status(
+                            400,
+                            "unknown weight; use weight=wall|alloc|cpu\n",
+                        ),
+                        Some(w) => Response::text(crate::profile::render_flight(flight, w)),
+                    }
+                }
+            },
+            "/workload" => match &sources.workload {
+                None => Response::status(404, "no workload summary attached\n"),
+                Some(workload) => {
+                    if req.query_has("format", "json") {
+                        Response::json(workload.render_json())
+                    } else {
+                        Response::text(workload.render_text())
+                    }
+                }
             },
             "/vars/history" => Response::json(collector.render_history()),
             "/healthz" => render_health(&sources.health, Some(&slo)),
@@ -546,6 +586,7 @@ mod tests {
                 refresh: None,
                 flight: None,
                 slowlog: None,
+                workload: None,
                 health,
             },
         )
@@ -567,6 +608,8 @@ mod tests {
         assert_eq!(http_get(addr, "/").0, 200);
         assert_eq!(http_get(addr, "/traces").0, 404, "no flight recorder attached");
         assert_eq!(http_get(addr, "/slowlog").0, 404);
+        assert_eq!(http_get(addr, "/profile").0, 404, "no flight recorder attached");
+        assert_eq!(http_get(addr, "/workload").0, 404, "no workload summary attached");
         let (status, health) = http_get(addr, "/healthz");
         assert_eq!(status, 200);
         assert!(health.contains("ok   probe self"), "{health}");
@@ -585,7 +628,14 @@ mod tests {
         health.register("disk", || Err("disk full".to_string()));
         let telemetry = Telemetry::serve(
             TelemetryOptions::default(),
-            TelemetrySources { registry, refresh: None, flight: None, slowlog: None, health },
+            TelemetrySources {
+                registry,
+                refresh: None,
+                flight: None,
+                slowlog: None,
+                workload: None,
+                health,
+            },
         )
         .expect("serve");
         let (status, body) = http_get(telemetry.local_addr(), "/healthz");
@@ -635,27 +685,60 @@ mod tests {
         assert!(TcpListener::bind(addr).is_ok(), "port still held after shutdown");
     }
 
-    #[test]
-    fn traces_routes_render_both_formats() {
+    /// A telemetry endpoint with every optional source attached: one
+    /// recorded trace, a two-format slowlog stub, and a workload summary
+    /// with one fingerprint.
+    fn full_fixture() -> Telemetry {
+        use crate::fingerprint::{QueryFingerprint, WorkloadStats, WorkloadSummary};
         use crate::trace::TraceCtx;
         let registry = Registry::new_shared();
         let flight = Arc::new(FlightRecorder::new(4));
         let ctx = TraceCtx::enabled();
         let mut root = ctx.root("threshold");
         root.set_field("eps", 0.01);
+        {
+            let mut scan = root.child("scan");
+            scan.set_duration(Duration::from_millis(1));
+            scan.finish();
+        }
+        root.set_duration(Duration::from_millis(3));
         root.finish();
         flight.push(Arc::new(ctx.finish().expect("trace")));
-        let telemetry = Telemetry::serve(
+        let workload = Arc::new(WorkloadSummary::new(8));
+        workload.record(
+            &QueryFingerprint::threshold("frechet", 0.01, 100),
+            &WorkloadStats {
+                latency: Duration::from_millis(3),
+                bytes_scanned: 64,
+                retrieved: 10,
+                candidates: 4,
+                results: 2,
+                alloc_bytes: 512,
+            },
+        );
+        Telemetry::serve(
             TelemetryOptions::default(),
             TelemetrySources {
                 registry,
                 refresh: None,
                 flight: Some(flight),
-                slowlog: Some(Arc::new(|| "slow queries: none\n".to_string())),
+                slowlog: Some(Arc::new(|json| {
+                    if json {
+                        "[{\"rank\":1}]".to_string()
+                    } else {
+                        "slow queries: none\n".to_string()
+                    }
+                })),
+                workload: Some(workload),
                 health: HealthRegistry::new_shared(),
             },
         )
-        .expect("serve");
+        .expect("serve")
+    }
+
+    #[test]
+    fn traces_routes_render_both_formats() {
+        let telemetry = full_fixture();
         let addr = telemetry.local_addr();
         let (status, text) = http_get(addr, "/traces");
         assert_eq!(status, 200);
@@ -665,9 +748,51 @@ mod tests {
         assert_eq!(status, 200);
         assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
         assert!(json.contains("\"threshold\""), "{json}");
+        telemetry.shutdown();
+    }
+
+    #[test]
+    fn slowlog_route_renders_both_formats() {
+        let telemetry = full_fixture();
+        let addr = telemetry.local_addr();
         let (status, slow) = http_get(addr, "/slowlog");
         assert_eq!(status, 200);
         assert!(slow.contains("slow queries"), "{slow}");
+        let (status, json) = http_get(addr, "/slowlog?format=json");
+        assert_eq!(status, 200);
+        assert!(json.contains("\"rank\":1"), "{json}");
+        telemetry.shutdown();
+    }
+
+    #[test]
+    fn profile_route_folds_the_flight_recorder() {
+        let telemetry = full_fixture();
+        let addr = telemetry.local_addr();
+        for path in ["/profile", "/profile?weight=wall"] {
+            let (status, folded) = http_get(addr, path);
+            assert_eq!(status, 200);
+            assert!(folded.contains("threshold;scan "), "{folded}");
+            assert!(folded.lines().all(|l| l.rsplit(' ').next().is_some()), "{folded}");
+        }
+        // alloc/cpu weights are valid even when span fields are absent —
+        // they just fold to empty output.
+        assert_eq!(http_get(addr, "/profile?weight=alloc").0, 200);
+        assert_eq!(http_get(addr, "/profile?weight=cpu").0, 200);
+        assert_eq!(http_get(addr, "/profile?weight=bogus").0, 400);
+        telemetry.shutdown();
+    }
+
+    #[test]
+    fn workload_route_renders_both_formats() {
+        let telemetry = full_fixture();
+        let addr = telemetry.local_addr();
+        let (status, text) = http_get(addr, "/workload");
+        assert_eq!(status, 200);
+        assert!(text.contains("threshold|frechet"), "{text}");
+        let (status, json) = http_get(addr, "/workload?format=json");
+        assert_eq!(status, 200);
+        assert!(json.contains("\"fingerprint\":\"threshold|frechet"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
         telemetry.shutdown();
     }
 }

@@ -34,35 +34,58 @@
 //! * [`health`] — liveness/readiness probes ([`HealthRegistry`]) and
 //!   multi-window SLO burn-rate evaluation ([`SloEvaluator`]) whose
 //!   verdicts drive `/healthz` status codes and `trass_slo_*` gauges.
+//! * [`alloc`] — stage-tagged resource accounting: a counting
+//!   [`CountingAlloc`](alloc::CountingAlloc) global-allocator wrapper,
+//!   thread-local stage tags ([`StageGuard`](alloc::StageGuard)) entered
+//!   by stage spans and propagated to pool workers, and per-thread CPU
+//!   time, published as `trass_stage_*` metrics.
+//! * [`profile`] — folds the flight recorder's span trees into
+//!   collapsed-stack (flame-graph) lines weighted by wall time, alloc
+//!   bytes, or CPU time, served at `/profile`.
+//! * [`fingerprint`] — query-shape fingerprints and the fixed-capacity
+//!   [`WorkloadSummary`] aggregating per-shape cost statistics, served at
+//!   `/workload`.
 //!
 //! Metric name conventions: `trass_query_*` (query pipeline),
 //! `trass_kv_*` (store internals), `trass_ingest_*` (write path);
 //! duration histograms end in `_seconds` and record nanoseconds internally
 //! (scaled at export).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the allocator module (the one place that
+// must `unsafe impl GlobalAlloc`) can opt out with a scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod collector;
 pub mod export;
+pub mod fingerprint;
 pub mod health;
 pub mod histogram;
 pub mod http;
+pub mod profile;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{AllocSnapshot, CountingAlloc, StageGuard};
 pub use collector::{Collector, CollectorHandle, CollectorOptions};
 pub use export::{MetricSnapshot, MetricValue};
-pub use health::{
-    HealthRegistry, ProbeReport, SloEvaluator, SloObjective, SloSignal, SloStatus,
-};
+pub use fingerprint::{QueryFingerprint, WorkloadStats, WorkloadSummary, WorkloadTotals};
+pub use health::{HealthRegistry, ProbeReport, SloEvaluator, SloObjective, SloSignal, SloStatus};
 pub use histogram::{Histogram, Percentiles};
 pub use http::{HttpServer, Request, Response, Telemetry, TelemetryOptions, TelemetrySources};
+pub use profile::ProfileWeight;
 pub use registry::{Counter, Gauge, Registry};
 pub use slowlog::SlowLog;
 pub use span::{Span, STAGE_HISTOGRAM};
 pub use trace::{
     FieldValue, FlightRecorder, QueryTrace, SpanRecord, TraceCtx, TraceSampler, TraceSpan,
 };
+
+// The unit-test binary installs the counting allocator so alloc-exactness
+// tests (alloc.rs, trace.rs) see real readings.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc::system();

@@ -1,0 +1,247 @@
+//! Flame-graph export: folds recorded span trees into collapsed-stack
+//! lines.
+//!
+//! The flight recorder keeps the last N query traces; this module folds
+//! their span trees into the `flamegraph.pl` collapsed-stack format —
+//! one line per unique stage path, `root;child;grandchild weight` — so
+//! any off-the-shelf flame-graph renderer can visualise where queries
+//! spend their resources. Three weightings:
+//!
+//! * **wall** — nanoseconds. Sibling spans that ran in parallel (region
+//!   scans) can sum past their parent's wall time, so child subtrees are
+//!   proportionally rescaled to fit the parent's budget; per trace, the
+//!   folded weights sum to the root span's duration *exactly* (modulo
+//!   integer rounding), which is what makes the flame graph widths mean
+//!   "fraction of query latency".
+//! * **alloc** — bytes allocated, from each span's `alloc_bytes` field
+//!   (self weight = own bytes minus bytes covered by child spans).
+//! * **cpu** — CPU nanoseconds, from each span's `cpu_ns` field, same
+//!   self-weight rule.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{FlightRecorder, QueryTrace, SpanRecord};
+
+/// Which per-span quantity weighs the folded stacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfileWeight {
+    /// Wall-clock nanoseconds (children rescaled into the parent budget).
+    Wall,
+    /// Allocated bytes (`alloc_bytes` span field).
+    Alloc,
+    /// CPU nanoseconds (`cpu_ns` span field).
+    Cpu,
+}
+
+impl ProfileWeight {
+    /// Parses a `?weight=` query value.
+    pub fn parse(s: &str) -> Option<ProfileWeight> {
+        match s {
+            "wall" => Some(ProfileWeight::Wall),
+            "alloc" => Some(ProfileWeight::Alloc),
+            "cpu" => Some(ProfileWeight::Cpu),
+            _ => None,
+        }
+    }
+
+    /// The canonical query-parameter spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProfileWeight::Wall => "wall",
+            ProfileWeight::Alloc => "alloc",
+            ProfileWeight::Cpu => "cpu",
+        }
+    }
+}
+
+/// Accumulates one span subtree into `out` under wall weighting.
+/// `budget` is the nanosecond share this subtree may claim; child
+/// subtrees are rescaled proportionally when their recorded durations
+/// overshoot it (parallel siblings), so emitted weights always sum to
+/// the root budget.
+fn fold_wall(
+    span: &SpanRecord,
+    stack: &mut Vec<String>,
+    budget: f64,
+    out: &mut BTreeMap<String, f64>,
+) {
+    stack.push(span.name.clone());
+    let child_sum: f64 = span.children.iter().map(|c| c.duration_ns as f64).sum();
+    let scale = if child_sum > budget && child_sum > 0.0 { budget / child_sum } else { 1.0 };
+    let self_weight = budget - child_sum * scale;
+    let key = stack.join(";");
+    *out.entry(key).or_insert(0.0) += self_weight;
+    for child in &span.children {
+        fold_wall(child, stack, child.duration_ns as f64 * scale, out);
+    }
+    stack.pop();
+}
+
+/// Accumulates one span subtree into `out` using the `field` span field
+/// (alloc/cpu weighting): self weight is the span's own value minus what
+/// its children already account for, floored at zero.
+fn fold_field(
+    span: &SpanRecord,
+    field: &str,
+    stack: &mut Vec<String>,
+    out: &mut BTreeMap<String, f64>,
+) {
+    stack.push(span.name.clone());
+    let own = span.field_u64(field).unwrap_or(0);
+    let child_sum: u64 = span.children.iter().map(|c| c.field_u64(field).unwrap_or(0)).sum();
+    let self_weight = own.saturating_sub(child_sum);
+    if self_weight > 0 {
+        let key = stack.join(";");
+        *out.entry(key).or_insert(0.0) += self_weight as f64;
+    }
+    for child in &span.children {
+        fold_field(child, field, stack, out);
+    }
+    stack.pop();
+}
+
+/// Folds one trace into `out` (stack path → weight).
+pub fn fold_trace(trace: &QueryTrace, weight: ProfileWeight, out: &mut BTreeMap<String, f64>) {
+    let mut stack = Vec::new();
+    match weight {
+        ProfileWeight::Wall => {
+            fold_wall(&trace.root, &mut stack, trace.root.duration_ns as f64, out)
+        }
+        ProfileWeight::Alloc => fold_field(&trace.root, "alloc_bytes", &mut stack, out),
+        ProfileWeight::Cpu => fold_field(&trace.root, "cpu_ns", &mut stack, out),
+    }
+}
+
+/// Folds many traces and renders collapsed-stack lines, one
+/// `stack weight` pair per line, sorted by stack for determinism.
+/// Weights are ns (wall/cpu) or bytes (alloc); zero-weight stacks are
+/// dropped.
+pub fn render_traces<'a>(
+    traces: impl IntoIterator<Item = &'a QueryTrace>,
+    weight: ProfileWeight,
+) -> String {
+    let mut out = BTreeMap::new();
+    for t in traces {
+        fold_trace(t, weight, &mut out);
+    }
+    let mut s = String::new();
+    for (stack, w) in &out {
+        let w = w.round() as u64;
+        if w > 0 {
+            s.push_str(stack);
+            s.push(' ');
+            s.push_str(&w.to_string());
+            s.push('\n');
+        }
+    }
+    s
+}
+
+/// Folds everything currently in the flight recorder.
+pub fn render_flight(flight: &FlightRecorder, weight: ProfileWeight) -> String {
+    let traces = flight.snapshot();
+    render_traces(traces.iter().map(|t| t.as_ref()), weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCtx;
+    use std::time::Duration;
+
+    /// root(10ms) -> a(4ms) -> a1(1ms); b(3ms). Built with duration
+    /// overrides so folding is deterministic.
+    fn tree() -> QueryTrace {
+        let ctx = TraceCtx::enabled();
+        let mut root = ctx.root("q");
+        {
+            let mut a = root.child("a");
+            {
+                let mut a1 = a.child("a1");
+                a1.set_duration(Duration::from_millis(1));
+                a1.finish();
+            }
+            a.set_duration(Duration::from_millis(4));
+            a.finish();
+            let mut b = root.child("b");
+            b.set_duration(Duration::from_millis(3));
+            b.finish();
+        }
+        root.set_duration(Duration::from_millis(10));
+        root.finish();
+        ctx.finish().expect("trace")
+    }
+
+    #[test]
+    fn wall_weights_sum_to_root_duration() {
+        let t = tree();
+        let rendered = render_traces([&t], ProfileWeight::Wall);
+        let total: u64 = rendered
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()) // trass-lint: allow(unwrap)
+            .sum();
+        assert_eq!(total, 10_000_000, "{rendered}");
+        assert!(rendered.contains("q;a;a1 1000000"), "{rendered}");
+        assert!(rendered.contains("q;a 3000000"), "{rendered}"); // 4ms - 1ms child
+        assert!(rendered.contains("q;b 3000000"), "{rendered}");
+        assert!(rendered.contains("q 3000000"), "{rendered}"); // 10 - 4 - 3
+    }
+
+    #[test]
+    fn parallel_children_are_rescaled_into_the_parent_budget() {
+        // Two "parallel" children of 8ms each under a 10ms root: raw sums
+        // would claim 16ms; folding rescales each to 5ms.
+        let ctx = TraceCtx::enabled();
+        let mut root = ctx.root("q");
+        for name in ["s1", "s2"] {
+            let mut c = root.child(name);
+            c.set_duration(Duration::from_millis(8));
+            c.finish();
+        }
+        root.set_duration(Duration::from_millis(10));
+        root.finish();
+        let t = ctx.finish().expect("trace");
+        let rendered = render_traces([&t], ProfileWeight::Wall);
+        let total: u64 = rendered
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()) // trass-lint: allow(unwrap)
+            .sum();
+        assert_eq!(total, 10_000_000, "{rendered}");
+        assert!(rendered.contains("q;s1 5000000"), "{rendered}");
+        assert!(rendered.contains("q;s2 5000000"), "{rendered}");
+    }
+
+    #[test]
+    fn alloc_weights_use_explicit_fields_and_clamp_self() {
+        let ctx = TraceCtx::enabled();
+        let mut root = ctx.root("q");
+        {
+            let mut a = root.child("a");
+            a.set_field("alloc_bytes", 3000u64);
+            a.finish();
+        }
+        root.set_field("alloc_bytes", 2000u64); // less than child: self clamps to 0
+        root.finish();
+        let t = ctx.finish().expect("trace");
+        let rendered = render_traces([&t], ProfileWeight::Alloc);
+        assert!(rendered.contains("q;a 3000"), "{rendered}");
+        assert!(!rendered.contains("q 2000"), "{rendered}");
+    }
+
+    #[test]
+    fn weights_parse_and_roundtrip() {
+        for w in [ProfileWeight::Wall, ProfileWeight::Alloc, ProfileWeight::Cpu] {
+            assert_eq!(ProfileWeight::parse(w.as_str()), Some(w));
+        }
+        assert_eq!(ProfileWeight::parse("bogus"), None);
+    }
+
+    #[test]
+    fn flight_render_merges_traces() {
+        let flight = FlightRecorder::new(8);
+        flight.push(std::sync::Arc::new(tree()));
+        flight.push(std::sync::Arc::new(tree()));
+        let rendered = render_flight(&flight, ProfileWeight::Wall);
+        assert!(rendered.contains("q;a;a1 2000000"), "{rendered}");
+    }
+}

@@ -15,32 +15,44 @@ use std::time::{Duration, Instant};
 pub const STAGE_HISTOGRAM: &str = "trass_query_stage_seconds";
 
 /// An RAII timer recording into a histogram when it ends.
+///
+/// Spans created via [`Span::enter`] / [`Span::enter_with`] additionally
+/// tag the calling thread with the stage name (see [`crate::alloc`]), so
+/// allocation and CPU accounting between enter and drop is attributed to
+/// the stage; [`Span::on`] is a bare timer with no stage tag.
 pub struct Span {
     hist: Arc<Histogram>,
     start: Instant,
     armed: bool,
+    _stage: Option<crate::alloc::StageGuard>,
 }
 
 impl Span {
     /// Starts a span over the standard per-stage histogram
-    /// (`trass_query_stage_seconds{stage="<stage>"}`).
+    /// (`trass_query_stage_seconds{stage="<stage>"}`), tagging the thread
+    /// with the stage for resource attribution.
     pub fn enter(registry: &Registry, stage: &str) -> Span {
-        Span::on(registry.timer(STAGE_HISTOGRAM, &[("stage", stage)]))
+        let mut span = Span::on(registry.timer(STAGE_HISTOGRAM, &[("stage", stage)]));
+        span._stage = Some(crate::alloc::StageGuard::enter_named(stage));
+        span
     }
 
     /// Starts a span over the standard per-stage histogram with extra
-    /// labels (e.g. `("query", "threshold")`).
+    /// labels (e.g. `("query", "threshold")`), tagging the thread with
+    /// the stage for resource attribution.
     pub fn enter_with(registry: &Registry, stage: &str, extra: &[(&str, &str)]) -> Span {
         let mut labels: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
         labels.push(("stage", stage));
         labels.extend_from_slice(extra);
-        Span::on(registry.timer(STAGE_HISTOGRAM, &labels))
+        let mut span = Span::on(registry.timer(STAGE_HISTOGRAM, &labels));
+        span._stage = Some(crate::alloc::StageGuard::enter_named(stage));
+        span
     }
 
     /// Starts a span recording into an explicit histogram (which should
     /// have nanosecond→second scale, as [`Registry::timer`] creates).
     pub fn on(hist: Arc<Histogram>) -> Span {
-        Span { hist, start: Instant::now(), armed: true }
+        Span { hist, start: Instant::now(), armed: true, _stage: None }
     }
 
     /// Elapsed time so far, without ending the span.
@@ -107,6 +119,16 @@ mod tests {
         let r = Registry::new();
         Span::enter(&r, "scan").cancel();
         assert_eq!(r.timer(STAGE_HISTOGRAM, &[("stage", "scan")]).count(), 0);
+    }
+
+    #[test]
+    fn enter_tags_the_thread_and_drop_restores() {
+        let r = Registry::new();
+        let base = crate::alloc::current_stage();
+        let span = Span::enter(&r, "span-test-stage");
+        assert_eq!(crate::alloc::stage_name(crate::alloc::current_stage()), "span-test-stage");
+        span.finish();
+        assert_eq!(crate::alloc::current_stage(), base);
     }
 
     #[test]

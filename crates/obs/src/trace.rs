@@ -291,6 +291,13 @@ struct SpanState {
     /// Explicit duration override (for attributing time measured
     /// elsewhere, e.g. filter time accumulated across scan threads).
     duration_override: Option<Duration>,
+    /// Resource marks taken at open, so finishing on the same thread can
+    /// self-report alloc/CPU deltas (see [`record_state`]). Spans that
+    /// finish on a different thread (kv region scans) set explicit fields
+    /// from the worker instead.
+    opened_on: std::thread::ThreadId,
+    alloc_mark: crate::alloc::AllocSnapshot,
+    cpu_mark: Option<u64>,
 }
 
 /// An open span: finishing (or dropping) it appends a [`SpanRecord`] to
@@ -317,6 +324,9 @@ impl TraceSpan {
             started: Instant::now(),
             start_ns,
             duration_override: None,
+            opened_on: std::thread::current().id(),
+            alloc_mark: crate::alloc::thread_alloc_snapshot(),
+            cpu_mark: crate::alloc::thread_cpu_ns(),
         }))
     }
 
@@ -369,12 +379,29 @@ impl TraceSpan {
 fn record_state(s: SpanState) -> Duration {
     let elapsed = s.started.elapsed();
     let recorded = s.duration_override.unwrap_or(elapsed);
+    let mut fields = s.fields;
+    // Self-report resource deltas when the span closes on the thread that
+    // opened it (per-thread counters are meaningless across threads) and
+    // no explicit field of the same name was set by the caller.
+    if std::thread::current().id() == s.opened_on {
+        let has = |fields: &[(String, FieldValue)], k: &str| fields.iter().any(|(key, _)| key == k);
+        if crate::alloc::allocator_installed() && !has(&fields, "alloc_bytes") {
+            let d = crate::alloc::thread_alloc_snapshot().since(&s.alloc_mark);
+            fields.push(("alloc_bytes".to_string(), FieldValue::U64(d.bytes)));
+            fields.push(("allocs".to_string(), FieldValue::U64(d.count)));
+        }
+        if let (Some(mark), false) = (s.cpu_mark, has(&fields, "cpu_ns")) {
+            if let Some(now) = crate::alloc::thread_cpu_ns() {
+                fields.push(("cpu_ns".to_string(), FieldValue::U64(now.saturating_sub(mark))));
+            }
+        }
+    }
     let flat = FlatSpan {
         id: s.id,
         parent: s.parent,
         name: s.name,
         labels: s.labels,
-        fields: s.fields,
+        fields,
         start_ns: s.start_ns,
         duration_ns: recorded.as_nanos() as u64,
     };
@@ -1016,8 +1043,7 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..50 {
                         for t in fr.snapshot() {
-                            let back =
-                                QueryTrace::from_json(&t.render_json()).expect("round-trip");
+                            let back = QueryTrace::from_json(&t.render_json()).expect("round-trip");
                             assert_eq!(&back, t.as_ref());
                             assert_eq!(back.root.span_count(), 2);
                         }
@@ -1027,7 +1053,10 @@ mod tests {
         });
         assert_eq!(fr.len(), 8, "recorder should be full after 100 pushes");
         for t in fr.snapshot() {
-            assert_eq!(QueryTrace::from_json(&t.render_json()).expect("parse").root.name, "threshold");
+            assert_eq!(
+                QueryTrace::from_json(&t.render_json()).expect("parse").root.name,
+                "threshold"
+            );
         }
     }
 

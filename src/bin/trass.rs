@@ -22,6 +22,12 @@ use trass::geo::{Mbr, NormalizedSpace};
 use trass::kv::StoreOptions;
 use trass::traj::{io as traj_io, Measure};
 
+// Route every allocation through the stage-tagged counting allocator so
+// EXPLAIN output and the telemetry endpoint's `/profile?weight=alloc`
+// carry real per-stage byte counts.
+#[global_allocator]
+static ALLOC: trass::obs::CountingAlloc = trass::obs::CountingAlloc::system();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, flags)) = parse(&args) else {

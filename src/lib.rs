@@ -11,6 +11,8 @@
 //!   and an R-tree substrate.
 //! * [`core`] — the TraSS framework: storage schema plus threshold, top-k,
 //!   and spatial-range queries.
+//! * [`obs`] — observability: metrics, tracing, the telemetry endpoint,
+//!   and stage-tagged allocation/CPU profiling.
 //! * [`baselines`] — the comparison engines of the paper's evaluation.
 //!
 //! # Example
@@ -41,4 +43,5 @@ pub use trass_core as core;
 pub use trass_geo as geo;
 pub use trass_index as index;
 pub use trass_kv as kv;
+pub use trass_obs as obs;
 pub use trass_traj as traj;
