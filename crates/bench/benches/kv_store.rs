@@ -52,7 +52,7 @@ fn bench_kv(c: &mut Criterion) {
     });
     c.bench_function("kv/scan_1k_filtered", |b| {
         let filter = |_k: &[u8], v: &[u8]| {
-            if v.len().is_multiple_of(2) {
+            if v.len() % 2 == 0 {
                 FilterDecision::Keep
             } else {
                 FilterDecision::Skip

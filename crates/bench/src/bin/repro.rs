@@ -52,7 +52,7 @@ fn main() {
             }
             let quick = flags.iter().any(|f| f == "--quick");
             let update = flags.iter().any(|f| f == "--update-baseline");
-            return experiments::bench_gate::run(quick, update);
+            experiments::bench_gate::run(quick, update)
         }
         "fig9" => experiments::fig09_threshold::run(),
         "fig10" => experiments::fig10_topk::run(),

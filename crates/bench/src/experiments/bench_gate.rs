@@ -57,6 +57,11 @@ pub struct GateResult {
     pub p99: Duration,
     /// Median query time at `query_threads = 1`.
     pub p50_sequential: Duration,
+    /// Median refine-stage time at [`GATE_THREADS`] — reported in
+    /// `BENCH_ci.json` (so refine-path changes are visible per run) but
+    /// deliberately not a gated baseline key: stage medians are noisier
+    /// than whole-query medians.
+    pub refine_p50: Duration,
 }
 
 impl GateResult {
@@ -89,16 +94,24 @@ pub fn run(quick: bool, update_baseline: bool) {
     let results: Vec<GateResult> = seq
         .into_iter()
         .zip(par)
-        .map(|(s, p)| GateResult { name: s.0, p50: p.1, p99: p.2, p50_sequential: s.1 })
+        .map(|(s, p)| GateResult {
+            name: s.0,
+            p50: p.1,
+            p99: p.2,
+            p50_sequential: s.1,
+            refine_p50: p.3,
+        })
         .collect();
 
     for r in &results {
         println!(
-            "  {:<9} p50 {:>9.3?} p99 {:>9.3?} sequential-p50 {:>9.3?} speedup {:.2}x",
+            "  {:<9} p50 {:>9.3?} p99 {:>9.3?} sequential-p50 {:>9.3?} refine-p50 {:>9.3?} \
+             speedup {:.2}x",
             r.name,
             r.p50,
             r.p99,
             r.p50_sequential,
+            r.refine_p50,
             r.speedup()
         );
     }
@@ -193,18 +206,21 @@ fn tolerance() -> f64 {
 }
 
 /// Runs both pinned workloads at one thread count. Returns
-/// `(name, p50, p99)` per workload.
+/// `(name, p50, p99, refine_p50)` per workload.
 fn measure_all(
     data: &[Trajectory],
     queries: &[Trajectory],
     eps: f64,
     k: usize,
     threads: usize,
-) -> Vec<(&'static str, Duration, Duration)> {
+) -> Vec<(&'static str, Duration, Duration, Duration)> {
     let store = build_store(data, threads);
     let th = harness::run_trass_threshold(&store, queries, eps, Measure::Frechet);
     let tk = harness::run_trass_topk(&store, queries, k, Measure::Frechet);
-    vec![("threshold", th.median_time, th.p99_time), ("topk", tk.median_time, tk.p99_time)]
+    vec![
+        ("threshold", th.median_time, th.p99_time, th.median_refine_time),
+        ("topk", tk.median_time, tk.p99_time, tk.median_refine_time),
+    ]
 }
 
 fn build_store(data: &[Trajectory], threads: usize) -> TrajectoryStore {
@@ -244,11 +260,12 @@ fn render_report(results: &[GateResult], mode: &str, host_cores: usize) -> Strin
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
-             \"p50_sequential_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+             \"p50_sequential_ms\": {:.4}, \"refine_p50_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
             r.name,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
             r.p50_sequential.as_secs_f64() * 1e3,
+            r.refine_p50.as_secs_f64() * 1e3,
             r.speedup(),
             if i + 1 < results.len() { "," } else { "" }
         ));
@@ -316,8 +333,7 @@ pub fn check_against_baseline(
 fn parse_flat_numbers(s: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut rest = s;
-    loop {
-        let Some(q0) = rest.find('"') else { break };
+    while let Some(q0) = rest.find('"') {
         let after_key = &rest[q0 + 1..];
         let Some(q1) = after_key.find('"') else { break };
         let key = &after_key[..q1];
@@ -356,6 +372,7 @@ mod tests {
             p50: Duration::from_secs_f64(p50_ms / 1e3),
             p99: Duration::from_secs_f64(p50_ms * 2.0 / 1e3),
             p50_sequential: Duration::from_secs_f64(seq_ms / 1e3),
+            refine_p50: Duration::from_secs_f64(p50_ms * 0.5 / 1e3),
         }
     }
 
@@ -422,6 +439,7 @@ mod tests {
             "\"mode\": \"quick\"",
             "\"threads\": 4",
             "\"host_cores\": 6",
+            "\"refine_p50_ms\": 0.7500",
             "\"speedup\": 3.000",
         ] {
             assert!(report.contains(needle), "missing {needle} in {report}");

@@ -78,13 +78,24 @@ pub struct Aggregate {
     pub mean_precision: f64,
     /// Mean global-pruning time.
     pub mean_pruning_time: Duration,
+    /// Median refine-stage time (zero for engines that don't report it).
+    pub median_refine_time: Duration,
+    /// Mean candidates discarded by refinement's lower bounds per query
+    /// (zero for engines without the prefilter).
+    pub mean_refine_pruned: f64,
 }
 
-fn aggregate(samples: &[(Duration, u64, u64, u64, Duration)]) -> Aggregate {
+/// One query's raw numbers: total time, candidates, retrieved, results,
+/// pruning time, refine time, refine-bound prunes.
+type Sample = (Duration, u64, u64, u64, Duration, Duration, u64);
+
+fn aggregate(samples: &[Sample]) -> Aggregate {
     assert!(!samples.is_empty());
     let times = Histogram::new();
+    let refine_times = Histogram::new();
     for s in samples {
         times.record_duration(s.0);
+        refine_times.record_duration(s.5);
     }
     let p = times.percentiles();
     let n = samples.len();
@@ -95,6 +106,7 @@ fn aggregate(samples: &[(Duration, u64, u64, u64, Duration)]) -> Aggregate {
     let sum_r: u64 = samples.iter().map(|s| s.2).sum();
     let sum_res: u64 = samples.iter().map(|s| s.3).sum();
     let sum_prune: Duration = samples.iter().map(|s| s.4).sum();
+    let sum_refine_pruned: u64 = samples.iter().map(|s| s.6).sum();
     let mean_precision =
         samples.iter().map(|s| if s.1 == 0 { 1.0 } else { s.3 as f64 / s.1 as f64 }).sum::<f64>()
             / n as f64;
@@ -107,6 +119,8 @@ fn aggregate(samples: &[(Duration, u64, u64, u64, Duration)]) -> Aggregate {
         mean_results: sum_res as f64 / n as f64,
         mean_precision,
         mean_pruning_time: sum_prune / n as u32,
+        median_refine_time: Duration::from_nanos(refine_times.percentiles().p50),
+        mean_refine_pruned: sum_refine_pruned as f64 / n as f64,
     }
 }
 
@@ -128,6 +142,8 @@ pub fn run_trass_threshold(
                 r.stats.retrieved,
                 r.stats.results,
                 r.stats.pruning_time,
+                r.stats.refine_time,
+                r.stats.refine_prune.pruned_total(),
             )
         })
         .collect();
@@ -152,6 +168,8 @@ pub fn run_trass_topk(
                 r.stats.retrieved,
                 r.stats.results,
                 r.stats.pruning_time,
+                r.stats.refine_time,
+                r.stats.refine_prune.pruned_total(),
             )
         })
         .collect();
@@ -187,8 +205,16 @@ pub fn run_engine_topk(
     Some(aggregate(&samples))
 }
 
-fn to_sample(r: EngineResult) -> (Duration, u64, u64, u64, Duration) {
-    (r.query_time, r.candidates, r.retrieved, r.results.len() as u64, Duration::ZERO)
+fn to_sample(r: EngineResult) -> Sample {
+    (
+        r.query_time,
+        r.candidates,
+        r.retrieved,
+        r.results.len() as u64,
+        Duration::ZERO,
+        Duration::ZERO,
+        0,
+    )
 }
 
 #[cfg(test)]
@@ -204,9 +230,33 @@ mod tests {
     #[test]
     fn aggregate_math() {
         let samples = vec![
-            (Duration::from_millis(1), 10, 20, 5, Duration::from_micros(10)),
-            (Duration::from_millis(3), 20, 40, 10, Duration::from_micros(20)),
-            (Duration::from_millis(2), 0, 0, 0, Duration::from_micros(30)),
+            (
+                Duration::from_millis(1),
+                10,
+                20,
+                5,
+                Duration::from_micros(10),
+                Duration::from_micros(100),
+                4,
+            ),
+            (
+                Duration::from_millis(3),
+                20,
+                40,
+                10,
+                Duration::from_micros(20),
+                Duration::from_micros(300),
+                8,
+            ),
+            (
+                Duration::from_millis(2),
+                0,
+                0,
+                0,
+                Duration::from_micros(30),
+                Duration::from_micros(200),
+                0,
+            ),
         ];
         let a = aggregate(&samples);
         assert!(close(a.median_time, Duration::from_millis(2)), "{:?}", a.median_time);
@@ -217,5 +267,11 @@ mod tests {
         assert!((a.mean_retrieved - 20.0).abs() < 1e-9);
         // precision: 0.5, 0.5, 1.0 → 2/3
         assert!((a.mean_precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!(
+            close(a.median_refine_time, Duration::from_micros(200)),
+            "{:?}",
+            a.median_refine_time
+        );
+        assert!((a.mean_refine_pruned - 4.0).abs() < 1e-9);
     }
 }

@@ -13,6 +13,7 @@
 
 mod local_filter;
 pub(crate) mod range;
+pub(crate) mod refine;
 pub(crate) mod threshold;
 mod timed_filter;
 pub(crate) mod topk;

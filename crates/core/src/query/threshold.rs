@@ -1,6 +1,7 @@
 //! Threshold similarity search (§V-E, Algorithm 3).
 
 use crate::query::local_filter::{LocalFilter, QuerySide};
+use crate::query::refine::{RefineContext, RefineOutcome};
 use crate::query::timed_filter::TimedFilter;
 use crate::schema::{parse_rowkey, rowkey_range, RowValue};
 use crate::stats::{QueryStats, SearchResult};
@@ -184,47 +185,74 @@ pub(crate) fn threshold_search_impl(
     tspan.finish();
 
     // Refinement: exact similarity on the candidates, fanned out across
-    // the store's refine pool. Verdicts come back indexed by candidate, so
-    // the merge below observes them in scan order — the same order the
-    // sequential loop produced — and the trace stays deterministic.
+    // the store's refine pool. Lower bounds (endpoint / MBR gap / ref gap)
+    // run before each exact kernel when `refine_bounds` is on; the kernel
+    // itself abandons at the effective threshold. Either way the surviving
+    // hits carry the bit-identical exact distance. Verdicts come back
+    // indexed by candidate, so the merge below observes them in scan order
+    // — the same order the sequential loop produced — and the trace stays
+    // deterministic.
+    let rctx = RefineContext::new(query.points(), config.refine_bounds);
     let span = Span::enter_with(store.registry(), "refine", &labels);
     let mut tspan = parent.child("refine");
     let run = store.refine_pool().run_timed(rows, |_, row| {
         let (_, _, tid) = parse_rowkey(&row.key)?;
         let value = RowValue::decode(&row.value).ok()?;
+        // The row's cached DP-feature MBR covers the trajectory (covering
+        // boxes), which is all the gap bound needs.
+        let mbr = (!value.features.is_empty()).then(|| value.features.mbr());
         // Early exit: a bound tighter than eps means enough closer hits
         // are already recorded to disqualify anything past it.
-        let eff = bound.map_or(eps, |b| b.current().min(eps));
-        if !measure.within(query.points(), &value.points, eff) {
-            return Some((tid, None));
+        let eff = bound.map_or(eps, |b| b.effective(eps));
+        let outcome = rctx.assess(query.points(), &value.points, mbr.as_ref(), measure, eff);
+        if let RefineOutcome::Hit(d) = outcome {
+            if let Some(b) = bound {
+                b.offer(d);
+            }
         }
-        // Hits are few; the exact value is worth one more pass.
-        let d = measure.distance(query.points(), &value.points);
-        if let Some(b) = bound {
-            b.offer(d);
-        }
-        Some((tid, Some(d)))
+        Some((tid, outcome))
     });
     let mut results = Vec::new();
     let mut verdicts = 0usize;
-    for (tid, hit) in run.results.into_iter().flatten() {
-        if let Some(d) = hit {
+    for (tid, outcome) in run.results.into_iter().flatten() {
+        if let RefineOutcome::Hit(d) = outcome {
             results.push((tid, d));
         }
         if tspan.is_enabled() && verdicts < REFINE_VERDICT_CAP {
             verdicts += 1;
-            let verdict = if hit.is_some() { "hit" } else { "miss" };
-            tspan.set_field("verdict", format!("tid={tid} {verdict}"));
+            tspan.set_field("verdict", format!("tid={tid} {}", outcome.label()));
         }
     }
     results.sort_by_key(|&(tid, _)| tid);
     stats.refine_time = span.finish();
     stats.refine_worker_busy = run.worker_busy;
+    stats.refine_prune = rctx.snapshot();
     stats.results = results.len() as u64;
+    for (outcome, n) in [
+        ("pruned-endpoint", stats.refine_prune.endpoint),
+        ("pruned-mbr-gap", stats.refine_prune.mbr_gap),
+        ("pruned-ref-gap", stats.refine_prune.ref_gap),
+        ("abandoned", stats.refine_prune.abandoned),
+        ("computed", stats.refine_prune.computed),
+        ("corrupt", stats.refine_prune.corrupt),
+    ] {
+        if n > 0 {
+            store.registry().counter("trass_refine_outcomes", &[("outcome", outcome)]).add(n);
+        }
+    }
     if tspan.is_enabled() {
         tspan.set_field("candidates", stats.candidates);
         tspan.set_field("hits", results.len());
         tspan.set_field("workers", stats.refine_workers());
+        tspan.set_field("bounds_enabled", rctx.bounds_enabled());
+        tspan.set_field("pruned_endpoint", stats.refine_prune.endpoint);
+        tspan.set_field("pruned_mbr_gap", stats.refine_prune.mbr_gap);
+        tspan.set_field("pruned_ref_gap", stats.refine_prune.ref_gap);
+        tspan.set_field("abandoned", stats.refine_prune.abandoned);
+        tspan.set_field("exact_computed", stats.refine_prune.computed);
+        if stats.refine_prune.corrupt > 0 {
+            tspan.set_field("corrupt_rejects", stats.refine_prune.corrupt);
+        }
         if stats.candidates as usize > REFINE_VERDICT_CAP {
             tspan.set_field("verdicts_capped", true);
         }

@@ -126,6 +126,7 @@ pub(crate) fn top_k_search_traced(
         stats.retrieved += round.stats.retrieved;
         stats.candidates += round.stats.candidates;
         stats.io = stats.io.plus(&round.stats.io);
+        stats.refine_prune = stats.refine_prune.plus(&round.stats.refine_prune);
         // Per-worker busy time, summed position-wise across rounds (rounds
         // may use different worker counts when candidate sets are tiny).
         for (i, d) in round.stats.refine_worker_busy.iter().enumerate() {

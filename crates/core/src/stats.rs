@@ -37,6 +37,52 @@ pub struct QueryStats {
     /// that participated; a single entry for sequential execution). Summed
     /// across rounds for top-k queries.
     pub refine_worker_busy: Vec<Duration>,
+    /// Refine-stage outcome attribution: which lower bound (or kernel
+    /// abandon) disposed of each candidate. Summed across rounds for
+    /// top-k queries.
+    pub refine_prune: RefinePrune,
+}
+
+/// Per-query refine-stage outcome tallies (one count per candidate that
+/// reached refinement). `endpoint`/`mbr_gap`/`ref_gap` attribute prunes to
+/// the lower bound that fired; `abandoned` counts kernel early-exits;
+/// `computed` counts full exact evaluations (the hits); `corrupt` counts
+/// skipped undecodable/empty rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefinePrune {
+    /// Candidates pruned by the endpoint lower bound (Fréchet/DTW).
+    pub endpoint: u64,
+    /// Candidates pruned by the MBR-gap lower bound.
+    pub mbr_gap: u64,
+    /// Candidates pruned by the reference-point interval-gap bound.
+    pub ref_gap: u64,
+    /// Candidates the exact kernel abandoned once the running value
+    /// crossed the threshold (no exact value computed).
+    pub abandoned: u64,
+    /// Candidates whose exact distance was fully computed (the hits).
+    pub computed: u64,
+    /// Rows skipped as corrupt at the refine call site (empty point
+    /// sequence — the exact kernels reject those by assertion).
+    pub corrupt: u64,
+}
+
+impl RefinePrune {
+    /// Candidates disposed of by a lower bound, before any exact kernel.
+    pub fn pruned_total(&self) -> u64 {
+        self.endpoint + self.mbr_gap + self.ref_gap
+    }
+
+    /// Element-wise sum (top-k round aggregation).
+    pub fn plus(&self, other: &RefinePrune) -> RefinePrune {
+        RefinePrune {
+            endpoint: self.endpoint + other.endpoint,
+            mbr_gap: self.mbr_gap + other.mbr_gap,
+            ref_gap: self.ref_gap + other.ref_gap,
+            abandoned: self.abandoned + other.abandoned,
+            computed: self.computed + other.computed,
+            corrupt: self.corrupt + other.corrupt,
+        }
+    }
 }
 
 impl QueryStats {

@@ -365,6 +365,7 @@ impl TrajectoryStore {
                 retrieved: stats.retrieved,
                 candidates: stats.candidates,
                 results: stats.results,
+                refine_pruned: stats.refine_prune.pruned_total(),
                 alloc_bytes,
             },
         );

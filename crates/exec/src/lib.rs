@@ -316,6 +316,14 @@ impl TopKBound {
         f64::from_bits(self.bound_bits.load(Ordering::Acquire))
     }
 
+    /// The effective refine threshold given the query's `eps`: the tighter
+    /// of the two. Refinement prunes and abandons against this value — the
+    /// bound is always ≥ the true k-th best distance, so anything skipped
+    /// is provably outside both the threshold and the final top-k.
+    pub fn effective(&self, eps: f64) -> f64 {
+        self.current().min(eps)
+    }
+
     /// Records an exact distance. NaNs are ignored (a NaN distance is a
     /// measure bug, not a result).
     pub fn offer(&self, distance: f64) {
@@ -541,6 +549,16 @@ mod tests {
         assert_eq!(b.current(), 0.0);
         b.offer(1.0);
         assert_eq!(b.current(), 0.0);
+    }
+
+    #[test]
+    fn effective_is_the_tighter_of_bound_and_eps() {
+        let b = TopKBound::new(1);
+        assert_eq!(b.effective(0.5), 0.5, "unfilled bound defers to eps");
+        assert_eq!(b.effective(f64::INFINITY), f64::INFINITY);
+        b.offer(2.0);
+        assert_eq!(b.effective(5.0), 2.0, "tight bound wins");
+        assert_eq!(b.effective(1.0), 1.0, "tight eps wins");
     }
 
     #[test]

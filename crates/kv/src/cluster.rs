@@ -450,7 +450,7 @@ mod tests {
         }
         let even = |_k: &[u8], v: &[u8]| {
             let i: u32 = std::str::from_utf8(v).unwrap().parse().unwrap();
-            if i.is_multiple_of(2) {
+            if i % 2 == 0 {
                 FilterDecision::Keep
             } else {
                 FilterDecision::Skip

@@ -261,8 +261,8 @@ impl SsTable {
         if u64_at(5)? != MAGIC {
             return Err(KvError::corruption("sstable bad magic"));
         }
-        if index_off.checked_add(index_len).is_none_or(|e| e > total)
-            || bloom_off.checked_add(bloom_len).is_none_or(|e| e > total)
+        if index_off.checked_add(index_len).map_or(true, |e| e > total)
+            || bloom_off.checked_add(bloom_len).map_or(true, |e| e > total)
         {
             return Err(KvError::corruption("sstable footer offsets out of range"));
         }

@@ -511,8 +511,8 @@ impl LsmStore {
     /// (compaction is not keeping up and read amplification is compounding).
     pub fn health(&self) -> std::result::Result<(), String> {
         if let Some(dir) = &self.opts.dir {
-            let meta = std::fs::metadata(dir)
-                .map_err(|e| format!("data dir {}: {e}", dir.display()))?;
+            let meta =
+                std::fs::metadata(dir).map_err(|e| format!("data dir {}: {e}", dir.display()))?;
             if meta.permissions().readonly() {
                 return Err(format!("data dir {} is read-only", dir.display()));
             }
@@ -672,7 +672,7 @@ mod tests {
         // Keep every third row.
         let every_third = |key: &[u8], _v: &[u8]| {
             let i: u32 = std::str::from_utf8(&key[4..]).unwrap().parse().unwrap();
-            if i.is_multiple_of(3) {
+            if i % 3 == 0 {
                 FilterDecision::Keep
             } else {
                 FilterDecision::Skip

@@ -33,7 +33,7 @@ impl KeyRange {
     /// `[start, end)`.
     pub fn new(start: impl Into<Bytes>, end: impl Into<Bytes>) -> Self {
         let r = KeyRange { start: start.into(), end: Some(end.into()) };
-        debug_assert!(r.end.as_ref().is_none_or(|e| *e >= r.start), "inverted key range");
+        debug_assert!(r.end.as_ref().map_or(true, |e| *e >= r.start), "inverted key range");
         r
     }
 
@@ -58,7 +58,7 @@ impl KeyRange {
 
     /// Returns `true` when `key` falls inside the range.
     pub fn contains(&self, key: &[u8]) -> bool {
-        key >= self.start.as_ref() && self.end.as_ref().is_none_or(|e| key < e.as_ref())
+        key >= self.start.as_ref() && self.end.as_ref().map_or(true, |e| key < e.as_ref())
     }
 
     /// Whether this range and `other` share any key.

@@ -104,8 +104,7 @@ fn concurrent_parallel_scans_stress() {
         });
         for _ in 0..3 {
             s.spawn(move || {
-                let ranges: Vec<KeyRange> =
-                    (0..4u8).map(|s| KeyRange::prefix(vec![s])).collect();
+                let ranges: Vec<KeyRange> = (0..4u8).map(|s| KeyRange::prefix(vec![s])).collect();
                 loop {
                     let done = stop.load(std::sync::atomic::Ordering::SeqCst);
                     let entries = c.scan_ranges(&ranges, &keep_all).expect("scan");

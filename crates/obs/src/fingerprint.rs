@@ -133,6 +133,9 @@ pub struct WorkloadStats {
     pub candidates: u64,
     /// Final result count.
     pub results: u64,
+    /// Candidates discarded by refinement's lower-bound prefilter before
+    /// any exact kernel ran.
+    pub refine_pruned: u64,
     /// Bytes allocated on the driver thread while serving the query
     /// (zero when no counting allocator is installed).
     pub alloc_bytes: u64,
@@ -146,6 +149,7 @@ struct Entry {
     retrieved: u64,
     candidates: u64,
     results: u64,
+    refine_pruned: u64,
     alloc_bytes: u64,
 }
 
@@ -159,6 +163,7 @@ impl Entry {
             retrieved: 0,
             candidates: 0,
             results: 0,
+            refine_pruned: 0,
             alloc_bytes: 0,
         }
     }
@@ -170,6 +175,7 @@ impl Entry {
         self.retrieved += s.retrieved;
         self.candidates += s.candidates;
         self.results += s.results;
+        self.refine_pruned += s.refine_pruned;
         self.alloc_bytes += s.alloc_bytes;
     }
 
@@ -291,16 +297,17 @@ impl WorkloadSummary {
             entries.len(),
             entries.iter().map(|e| e.count).sum::<u64>()
         );
-        s.push_str("count    p50_ms    p99_ms  prune      bytes      alloc  fingerprint\n");
+        s.push_str("count    p50_ms    p99_ms  prune  rprune      bytes      alloc  fingerprint\n");
         for &i in &order {
             let e = &entries[i];
             let p = e.latency.percentiles();
             s.push_str(&format!(
-                "{:>5} {:>9.3} {:>9.3} {:>6.3} {:>10} {:>10}  {}\n",
+                "{:>5} {:>9.3} {:>9.3} {:>6.3} {:>7} {:>10} {:>10}  {}\n",
                 e.count,
                 p.p50 as f64 / 1e6,
                 p.p99 as f64 / 1e6,
                 e.prune_ratio(),
+                e.refine_pruned,
                 e.bytes_scanned,
                 e.alloc_bytes,
                 e.key,
@@ -329,7 +336,7 @@ impl WorkloadSummary {
             s.push_str(&format!(
                 "{{\"fingerprint\":\"{}\",\"count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
                  \"bytes_scanned\":{},\"retrieved\":{},\"candidates\":{},\"results\":{},\
-                 \"prune_ratio\":{:.4},\"alloc_bytes\":{}}}",
+                 \"prune_ratio\":{:.4},\"refine_pruned\":{},\"alloc_bytes\":{}}}",
                 e.key,
                 e.count,
                 p.p50 as f64 / 1e6,
@@ -339,6 +346,7 @@ impl WorkloadSummary {
                 e.candidates,
                 e.results,
                 e.prune_ratio(),
+                e.refine_pruned,
                 e.alloc_bytes,
             ));
         }
@@ -367,6 +375,7 @@ mod tests {
             retrieved: 50,
             candidates: 10,
             results: 5,
+            refine_pruned: 3,
             alloc_bytes: 1000,
         }
     }

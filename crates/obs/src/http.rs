@@ -713,6 +713,7 @@ mod tests {
                 retrieved: 10,
                 candidates: 4,
                 results: 2,
+                refine_pruned: 0,
                 alloc_bytes: 512,
             },
         );

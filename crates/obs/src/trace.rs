@@ -525,7 +525,7 @@ impl TraceSampler {
         if self.every == 0 {
             return false;
         }
-        self.counter.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+        self.counter.fetch_add(1, Ordering::Relaxed) % self.every == 0
     }
 
     /// The sampling period (0 = disabled).

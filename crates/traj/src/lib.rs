@@ -8,6 +8,9 @@
 //!   Fréchet (default, §II Def. 2), Hausdorff (§VII Def. 12) and DTW
 //!   (§VII Def. 13), each with an exact kernel and a threshold-aware
 //!   early-abandoning decision kernel used by the refinement step.
+//! * [`bounds`] — REPOSE-style lower-bound envelopes (endpoint, MBR gap,
+//!   reference-point interval gap) that let refinement discard candidates
+//!   in O(n) before paying an exact O(n·m) kernel.
 //! * [`dp`] — Douglas-Peucker representative points and the oriented
 //!   bounding boxes between them (§IV-D "DP features"), the inputs to local
 //!   filtering (Lemmas 13–14).
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod codec;
 pub mod dp;
 pub mod generator;

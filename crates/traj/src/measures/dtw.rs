@@ -26,6 +26,24 @@ pub fn within(a: &[Point], b: &[Point], eps: f64) -> bool {
     dtw_impl(a, b, eps) <= eps
 }
 
+/// Single-pass exact-or-abandon kernel: `Some(distance(a, b))` —
+/// bit-identical to [`distance`] — when the DTW cost is at most `eps`,
+/// `None` once every partial path is over budget. Partial-path costs only
+/// grow (local costs are non-negative), so the row-minimum abandon can
+/// never fire on a true hit, and a completed run's value involved no
+/// cutoff arithmetic.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn distance_within(a: &[Point], b: &[Point], eps: f64) -> Option<f64> {
+    assert!(!a.is_empty() && !b.is_empty(), "DTW decision of empty sequence");
+    if eps < 0.0 {
+        return None;
+    }
+    let d = dtw_impl(a, b, eps);
+    (d <= eps).then_some(d)
+}
+
 /// Shared kernel: computes DTW, returning `f64::INFINITY` early when every
 /// partial path already exceeds `cutoff`.
 #[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
@@ -164,6 +182,22 @@ mod tests {
         let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
         let b = pts(&[(100.0, 100.0), (101.0, 100.0)]);
         assert!(!within(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn distance_within_is_bit_identical_on_hits() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.3), (2.0, -0.4), (3.0, 0.6)]);
+        let b = pts(&[(0.2, 0.5), (1.4, -0.3), (2.4, 0.6)]);
+        let d = distance(&a, &b);
+        let got = distance_within(&a, &b, d * 2.0).expect("within generous eps");
+        assert_eq!(got.to_bits(), d.to_bits());
+        assert_eq!(distance_within(&a, &b, d * 0.5), None);
+        assert_eq!(distance_within(&a, &b, -1.0), None);
+        // DTW compares the sum directly — exact boundary equivalence.
+        assert_eq!(distance_within(&a, &b, d), Some(d));
+        for eps in [0.0, d * 0.9, d, d * 1.1] {
+            assert_eq!(distance_within(&a, &b, eps).is_some(), within(&a, &b, eps), "eps {eps}");
+        }
     }
 
     #[test]

@@ -11,11 +11,46 @@ use trass_geo::Point;
 ///
 /// # Panics
 /// Panics if either sequence is empty.
-#[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
 pub fn distance(a: &[Point], b: &[Point]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "Fréchet distance of empty sequence");
+    frechet_impl(a, b, f64::INFINITY).sqrt()
+}
+
+/// Single-pass exact-or-abandon kernel: `Some(distance(a, b))` —
+/// bit-identical to [`distance`] — when the Fréchet distance is at most
+/// `eps`, `None` as soon as the DP proves it exceeds `eps`.
+///
+/// DP values along any coupling are non-decreasing (each cell is a `max`
+/// over its path prefix) and every coupling crosses every row, so a row
+/// whose minimum exceeds `eps²` proves the final value does too — the
+/// abandon can never fire on a true hit, and a completed run used no
+/// cutoff arithmetic, so its value matches the unbounded kernel exactly.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn distance_within(a: &[Point], b: &[Point], eps: f64) -> Option<f64> {
+    assert!(!a.is_empty() && !b.is_empty(), "Fréchet decision of empty sequence");
+    if eps < 0.0 {
+        return None;
+    }
+    let eps_sq = eps * eps;
+    // Endpoints must couple; same O(1) quick check as `within`.
+    if a[0].distance_sq(&b[0]) > eps_sq || a[a.len() - 1].distance_sq(&b[b.len() - 1]) > eps_sq {
+        return None;
+    }
+    let d_sq = frechet_impl(a, b, eps_sq);
+    (d_sq <= eps_sq).then(|| d_sq.sqrt())
+}
+
+/// The shared value DP in squared space: returns the squared Fréchet
+/// distance, or `f64::INFINITY` early once every cell of a row exceeds
+/// `cutoff_sq`. `cutoff_sq = +∞` never abandons and reproduces the exact
+/// kernel bit-for-bit (the cutoff is only ever compared, never mixed into
+/// the arithmetic).
+#[allow(clippy::needless_range_loop)] // symmetric a[i]/b[j] DP recurrence
+fn frechet_impl(a: &[Point], b: &[Point], cutoff_sq: f64) -> f64 {
     let (n, m) = (a.len(), b.len());
-    // Work in squared distances; take one sqrt at the end.
+    // Work in squared distances; the caller takes one sqrt at the end.
     let mut prev = vec![0.0f64; m];
     let mut curr = vec![0.0f64; m];
 
@@ -25,13 +60,18 @@ pub fn distance(a: &[Point], b: &[Point]) -> f64 {
     }
     for i in 1..n {
         curr[0] = prev[0].max(a[i].distance_sq(&b[0]));
+        let mut row_min = curr[0];
         for j in 1..m {
             let reach = prev[j].min(curr[j - 1]).min(prev[j - 1]);
             curr[j] = reach.max(a[i].distance_sq(&b[j]));
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > cutoff_sq {
+            return f64::INFINITY;
         }
         std::mem::swap(&mut prev, &mut curr);
     }
-    prev[m - 1].sqrt()
+    prev[m - 1]
 }
 
 /// Decides `distance(a, b) <= eps` via free-space reachability, abandoning
@@ -163,5 +203,26 @@ mod tests {
         assert_eq!(distance(&a, &b), 5.0);
         assert!(within(&a, &b, 5.0));
         assert!(!within(&a, &b, 4.999));
+    }
+
+    #[test]
+    fn distance_within_is_bit_identical_on_hits() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.3), (2.0, -0.4), (3.0, 0.1), (4.0, 0.0)]);
+        let b = pts(&[(0.2, 0.5), (1.4, -0.3), (2.4, 0.6), (3.8, -0.5)]);
+        let d = distance(&a, &b);
+        let got = distance_within(&a, &b, d * 1.5).expect("within generous eps");
+        assert_eq!(got.to_bits(), d.to_bits());
+        assert_eq!(distance_within(&a, &b, d * 0.5), None);
+        assert_eq!(distance_within(&a, &b, -1.0), None);
+    }
+
+    #[test]
+    fn distance_within_verdict_matches_within() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.3), (2.0, -0.4), (3.0, 0.1)]);
+        let b = pts(&[(0.2, 0.5), (1.4, -0.3), (2.4, 0.6)]);
+        let d = distance(&a, &b);
+        for eps in [0.0, d * 0.9, d, d * 1.1, 10.0] {
+            assert_eq!(distance_within(&a, &b, eps).is_some(), within(&a, &b, eps), "eps {eps}");
+        }
     }
 }

@@ -12,6 +12,15 @@ use trass_geo::Point;
 /// Panics if either sequence is empty.
 pub fn directed(a: &[Point], b: &[Point]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "Hausdorff distance of empty sequence");
+    directed_sq(a, b, f64::INFINITY).sqrt()
+}
+
+/// The shared directed kernel in squared space: returns the squared
+/// directed Hausdorff distance, or `f64::INFINITY` early once the running
+/// maximum exceeds `cutoff_sq` (the maximum only grows, so the final value
+/// would too). `cutoff_sq = +∞` never abandons and reproduces the exact
+/// kernel bit-for-bit.
+fn directed_sq(a: &[Point], b: &[Point], cutoff_sq: f64) -> f64 {
     let mut cmax_sq = 0.0f64;
     for p in a {
         let mut cmin_sq = f64::INFINITY;
@@ -29,13 +38,40 @@ pub fn directed(a: &[Point], b: &[Point]) -> f64 {
         if cmin_sq > cmax_sq && cmin_sq.is_finite() {
             cmax_sq = cmin_sq;
         }
+        if cmax_sq > cutoff_sq {
+            return f64::INFINITY;
+        }
     }
-    cmax_sq.sqrt()
+    cmax_sq
 }
 
 /// Symmetric Hausdorff distance `max(directed(a,b), directed(b,a))`.
 pub fn distance(a: &[Point], b: &[Point]) -> f64 {
     directed(a, b).max(directed(b, a))
+}
+
+/// Single-pass exact-or-abandon kernel: `Some(distance(a, b))` —
+/// bit-identical to [`distance`] — when the symmetric Hausdorff distance
+/// is at most `eps`, `None` as soon as either directed pass proves it
+/// exceeds `eps`.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn distance_within(a: &[Point], b: &[Point], eps: f64) -> Option<f64> {
+    assert!(!a.is_empty() && !b.is_empty(), "Hausdorff decision of empty sequence");
+    if eps < 0.0 {
+        return None;
+    }
+    let eps_sq = eps * eps;
+    let ab_sq = directed_sq(a, b, eps_sq);
+    if ab_sq > eps_sq {
+        return None;
+    }
+    let ba_sq = directed_sq(b, a, eps_sq);
+    if ba_sq > eps_sq {
+        return None;
+    }
+    Some(ab_sq.sqrt().max(ba_sq.sqrt()))
 }
 
 /// Decides `distance(a, b) <= eps`, abandoning at the first witness point
@@ -128,5 +164,19 @@ mod tests {
         let a = pts(&[(0.0, 0.0)]);
         let b = pts(&[(3.0, 4.0)]);
         assert_eq!(distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn distance_within_is_bit_identical_on_hits() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.3), (2.0, -0.4)]);
+        let b = pts(&[(0.2, 0.5), (1.4, -0.3), (2.4, 0.6), (3.8, -0.5)]);
+        let d = distance(&a, &b);
+        let got = distance_within(&a, &b, d * 1.5).expect("within generous eps");
+        assert_eq!(got.to_bits(), d.to_bits());
+        assert_eq!(distance_within(&a, &b, d * 0.5), None);
+        assert_eq!(distance_within(&a, &b, -1.0), None);
+        for eps in [0.0, d * 0.9, d * 1.1, 100.0] {
+            assert_eq!(distance_within(&a, &b, eps).is_some(), within(&a, &b, eps), "eps {eps}");
+        }
     }
 }

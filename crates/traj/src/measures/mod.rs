@@ -49,12 +49,41 @@ impl Measure {
         }
     }
 
+    /// Non-panicking [`Measure::distance`]: `None` when either sequence is
+    /// empty (a corrupt stored row, never a valid trajectory), the exact
+    /// value otherwise. Refinement call sites use this so a bad row is
+    /// skipped instead of crashing the query.
+    pub fn try_distance(&self, a: &[Point], b: &[Point]) -> Option<f64> {
+        if a.is_empty() || b.is_empty() {
+            return None;
+        }
+        Some(self.distance(a, b))
+    }
+
     /// Decides `distance(a, b) <= eps` with early abandoning.
     pub fn within(&self, a: &[Point], b: &[Point], eps: f64) -> bool {
         match self {
             Measure::Frechet => frechet::within(a, b, eps),
             Measure::Hausdorff => hausdorff::within(a, b, eps),
             Measure::Dtw => dtw::within(a, b, eps),
+        }
+    }
+
+    /// Single-pass exact-or-abandon kernel: `Some(d)` with
+    /// `d == distance(a, b)` **bit-for-bit** when the distance is at most
+    /// `eps`, `None` as soon as the kernel proves it exceeds `eps`. The
+    /// `Some`-ness agrees exactly with [`Measure::within`] at the same
+    /// `eps` (both decide in the same squared/summed space), so replacing
+    /// a `within` + `distance` pair with one `distance_within` call can
+    /// never change query results — only skip the second O(n·m) pass.
+    ///
+    /// # Panics
+    /// Panics if either sequence is empty.
+    pub fn distance_within(&self, a: &[Point], b: &[Point], eps: f64) -> Option<f64> {
+        match self {
+            Measure::Frechet => frechet::distance_within(a, b, eps),
+            Measure::Hausdorff => hausdorff::distance_within(a, b, eps),
+            Measure::Dtw => dtw::distance_within(a, b, eps),
         }
     }
 
@@ -146,6 +175,33 @@ mod tests {
             let d = m.distance(&a, &b);
             assert!(m.within(&a, &b, d + 1e-9), "{m} within failed at d+");
             assert!(!m.within(&a, &b, d - 1e-9), "{m} within failed at d-");
+        }
+    }
+
+    #[test]
+    fn try_distance_skips_empty_sequences() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.2)]);
+        for m in [Measure::Frechet, Measure::Hausdorff, Measure::Dtw] {
+            assert_eq!(m.try_distance(&a, &[]), None, "{m}");
+            assert_eq!(m.try_distance(&[], &a), None, "{m}");
+            assert_eq!(m.try_distance(&[], &[]), None, "{m}");
+            assert_eq!(m.try_distance(&a, &a), Some(0.0), "{m}");
+        }
+    }
+
+    #[test]
+    fn distance_within_agrees_with_two_pass_path() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.2), (2.0, -0.1), (3.0, 0.0)]);
+        let b = pts(&[(0.1, 0.4), (1.2, 0.1), (2.2, 0.3), (3.1, -0.2)]);
+        for m in [Measure::Frechet, Measure::Hausdorff, Measure::Dtw] {
+            let d = m.distance(&a, &b);
+            for eps in [0.0, d * 0.5, d * 1.5, f64::INFINITY] {
+                let fused = m.distance_within(&a, &b, eps);
+                assert_eq!(fused.is_some(), m.within(&a, &b, eps), "{m} eps {eps}");
+                if let Some(got) = fused {
+                    assert_eq!(got.to_bits(), d.to_bits(), "{m} eps {eps}");
+                }
+            }
         }
     }
 }

@@ -10,10 +10,11 @@ use trass_core::store::TrajectoryStore;
 use trass_geo::Mbr;
 use trass_traj::{generator, Measure, Trajectory};
 
-fn store_with_threads(data: &[Trajectory], threads: usize) -> TrajectoryStore {
+fn store_with(data: &[Trajectory], threads: usize, refine_bounds: bool) -> TrajectoryStore {
     let extent = Mbr::new(116.0, 39.6, 116.8, 40.2);
     let cfg = TrassConfig {
         query_threads: threads,
+        refine_bounds,
         // Trace everything so the comparison also exercises the traced
         // span paths, not just the untraced fast path.
         trace_sample_every: 1,
@@ -23,6 +24,10 @@ fn store_with_threads(data: &[Trajectory], threads: usize) -> TrajectoryStore {
     store.insert_all(data).expect("insert");
     store.flush().expect("flush");
     store
+}
+
+fn store_with_threads(data: &[Trajectory], threads: usize) -> TrajectoryStore {
+    store_with(data, threads, true)
 }
 
 #[test]
@@ -60,6 +65,44 @@ fn topk_results_identical_across_thread_counts() {
                 assert_eq!(
                     a.results, b.results,
                     "topk divergence: measure={measure} k={k} query={}",
+                    q.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_identical_across_threads_and_refine_bounds() {
+    // The full 2×2 grid: refine lower bounds {on, off} × query_threads
+    // {1, 4} must agree on every threshold and top-k answer — ids, order
+    // and exact distances. `tests/refine_exactness.rs` goes deeper on the
+    // bounds axis; this keeps the thread-interaction corner pinned here
+    // with the rest of the determinism contract.
+    let data = generator::tdrive_like(41, 250);
+    let queries = generator::sample_queries(&data, 3, 7);
+    let stores: Vec<(bool, usize, TrajectoryStore)> =
+        [(true, 1), (true, 4), (false, 1), (false, 4)]
+            .into_iter()
+            .map(|(bounds, threads)| (bounds, threads, store_with(&data, threads, bounds)))
+            .collect();
+    for measure in [Measure::Frechet, Measure::Hausdorff, Measure::Dtw] {
+        for q in &queries {
+            let baseline = query::threshold_search(&stores[0].2, q, 0.01, measure).expect("base");
+            let base_topk = query::top_k_search(&stores[0].2, q, 5, measure).expect("base topk");
+            for (bounds, threads, store) in &stores[1..] {
+                let r = query::threshold_search(store, q, 0.01, measure).expect("threshold");
+                assert_eq!(
+                    baseline.results, r.results,
+                    "threshold divergence: bounds={bounds} threads={threads} \
+                     measure={measure} query={}",
+                    q.id
+                );
+                let t = query::top_k_search(store, q, 5, measure).expect("topk");
+                assert_eq!(
+                    base_topk.results, t.results,
+                    "topk divergence: bounds={bounds} threads={threads} \
+                     measure={measure} query={}",
                     q.id
                 );
             }

@@ -1,0 +1,184 @@
+//! The differential-exactness oracle for the refinement lower-bound
+//! prefilter (`TRASS_REFINE_BOUNDS` / `TrassConfig::refine_bounds`).
+//!
+//! The contract: bounds and early-abandoning kernels are pure
+//! optimisations. A store with `refine_bounds = true` must answer every
+//! threshold, top-k and range query with *identical* results — same ids,
+//! same order, same bit-level exact distances — as a store with the
+//! legacy two-pass refine path, at every thread count. The trass-traj
+//! half of the argument (bound soundness, kernel bit-identity) lives in
+//! `crates/traj/tests/bounds_props.rs`; this file closes the loop over
+//! the whole query pipeline.
+
+use trass_core::config::TrassConfig;
+use trass_core::query;
+use trass_core::schema::{parse_rowkey, RowValue};
+use trass_core::store::TrajectoryStore;
+use trass_geo::Mbr;
+use trass_traj::{generator, DpFeatures, Measure, Trajectory};
+
+const MEASURES: [Measure; 3] = [Measure::Frechet, Measure::Hausdorff, Measure::Dtw];
+
+fn open_store(data: &[Trajectory], refine_bounds: bool, threads: usize) -> TrajectoryStore {
+    let extent = Mbr::new(116.0, 39.6, 116.8, 40.2);
+    let cfg = TrassConfig {
+        refine_bounds,
+        query_threads: threads,
+        trace_sample_every: 1,
+        ..TrassConfig::for_extent(extent)
+    };
+    let store = TrajectoryStore::open(cfg).expect("open");
+    store.insert_all(data).expect("insert");
+    store.flush().expect("flush");
+    store
+}
+
+#[test]
+fn threshold_results_identical_with_and_without_bounds() {
+    let data = generator::tdrive_like(11, 250);
+    let queries = generator::sample_queries(&data, 3, 5);
+    for threads in [1, 4] {
+        let with = open_store(&data, true, threads);
+        let without = open_store(&data, false, threads);
+        for measure in MEASURES {
+            for q in &queries {
+                // Spans tight (few hits, heavy pruning) to wide (most
+                // candidates are hits, bounds rarely fire).
+                for eps in [0.0, 0.002, 0.01, 0.05] {
+                    let a = query::threshold_search(&with, q, eps, measure).expect("bounds on");
+                    let b = query::threshold_search(&without, q, eps, measure).expect("bounds off");
+                    assert_eq!(
+                        a.results, b.results,
+                        "threshold divergence: threads={threads} measure={measure} \
+                         eps={eps} query={}",
+                        q.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_results_identical_with_and_without_bounds() {
+    // Top-k is the adversarial case: the live TopKBound feeds refinement
+    // a moving threshold, so bounds and kernel abandons fire against a
+    // value that tightens mid-query. The ranked answer must not notice.
+    let data = generator::tdrive_like(13, 250);
+    let queries = generator::sample_queries(&data, 3, 23);
+    for threads in [1, 4] {
+        let with = open_store(&data, true, threads);
+        let without = open_store(&data, false, threads);
+        for measure in MEASURES {
+            for q in &queries {
+                for k in [1, 5, 20] {
+                    let a = query::top_k_search(&with, q, k, measure).expect("bounds on");
+                    let b = query::top_k_search(&without, q, k, measure).expect("bounds off");
+                    assert_eq!(
+                        a.results, b.results,
+                        "topk divergence: threads={threads} measure={measure} k={k} query={}",
+                        q.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn range_results_identical_with_and_without_bounds() {
+    // Range search never runs a similarity kernel, so this must hold
+    // trivially — pinned so a future refactor routing range through the
+    // refine context cannot silently change it.
+    let data = generator::tdrive_like(19, 250);
+    let with = open_store(&data, true, 1);
+    let without = open_store(&data, false, 1);
+    let window = Mbr::new(116.2, 39.8, 116.5, 40.0);
+    let a = query::range_search(&with, &window).expect("bounds on");
+    let b = query::range_search(&without, &window).expect("bounds off");
+    assert_eq!(a.results, b.results);
+}
+
+#[test]
+fn refine_attribution_accounts_for_every_candidate() {
+    // Run with the local filter ablated: every retrieved row becomes a
+    // refinement candidate, so the lower bounds face the unfiltered
+    // stream. (With the local filter on, threshold candidates already
+    // survived per-lemma checks at the same ε, so the refine bounds only
+    // fire against top-k's tightening live bound.)
+    let data = generator::tdrive_like(23, 200);
+    let queries = generator::sample_queries(&data, 3, 31);
+    let extent = Mbr::new(116.0, 39.6, 116.8, 40.2);
+    let cfg = TrassConfig {
+        refine_bounds: true,
+        query_threads: 1,
+        use_local_filter: false,
+        ..TrassConfig::for_extent(extent)
+    };
+    let store = TrajectoryStore::open(cfg).expect("open");
+    store.insert_all(&data).expect("insert");
+    store.flush().expect("flush");
+    let mut pruned_anywhere = 0u64;
+    for measure in MEASURES {
+        for q in &queries {
+            let r = query::threshold_search(&store, q, 0.005, measure).expect("search");
+            let s = &r.stats.refine_prune;
+            assert_eq!(
+                s.pruned_total() + s.abandoned + s.computed + s.corrupt,
+                r.stats.candidates,
+                "unattributed candidates: measure={measure} query={} {s:?}",
+                q.id
+            );
+            assert_eq!(s.computed, r.stats.results, "every computed distance is a hit");
+            pruned_anywhere += s.pruned_total();
+        }
+    }
+    assert!(pruned_anywhere > 0, "bounds never fired — the differential tests are vacuous");
+
+    // With bounds off nothing is ever attributed to a bound.
+    let legacy = open_store(&data, false, 1);
+    let r = query::threshold_search(&legacy, &queries[0], 0.005, Measure::Frechet).expect("legacy");
+    assert_eq!(r.stats.refine_prune.pruned_total(), 0);
+}
+
+#[test]
+fn corrupt_empty_row_is_skipped_not_a_panic() {
+    // Regression for the empty-sequence panic surface: a stored row whose
+    // value decodes to zero points must be skipped (and counted) wherever
+    // it surfaces, never passed to an exact kernel that asserts non-empty
+    // input. Overwrite one row in place with an empty-point value and run
+    // the full query matrix over it.
+    let data = generator::tdrive_like(29, 50);
+    let victim = data[0].id;
+    for refine_bounds in [true, false] {
+        let store = open_store(&data, refine_bounds, 1);
+        let rows = store.cluster().scan(trass_kv::KeyRange::all()).expect("scan");
+        let key = rows
+            .iter()
+            .find(|r| parse_rowkey(&r.key).is_some_and(|(_, _, tid)| tid == victim))
+            .expect("victim row present")
+            .key
+            .clone();
+        let empty = RowValue {
+            points: Vec::new(),
+            features: DpFeatures {
+                rep_indices: Vec::new(),
+                rep_points: Vec::new(),
+                boxes: Vec::new(),
+            },
+        };
+        store.cluster().put(key, empty.encode()).expect("put");
+        store.cluster().flush().expect("flush");
+
+        let q = &data[0];
+        for measure in MEASURES {
+            let r = query::threshold_search(&store, q, 0.01, measure).expect("threshold");
+            assert!(
+                r.results.iter().all(|&(tid, _)| tid != victim),
+                "corrupt row {victim} leaked into results (bounds={refine_bounds}, {measure})"
+            );
+            let t = query::top_k_search(&store, q, 5, measure).expect("topk");
+            assert!(t.results.iter().all(|&(tid, _)| tid != victim));
+        }
+    }
+}
