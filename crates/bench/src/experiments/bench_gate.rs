@@ -117,12 +117,8 @@ pub fn run(quick: bool, update_baseline: bool) {
     }
 
     let cores = host_cores();
-    if cores > 0 && cores < GATE_THREADS {
-        eprintln!(
-            "warning: host reports {cores} cores but the gate budget is {GATE_THREADS} \
-             threads; parallel medians will undershoot and speedups are not comparable \
-             to baselines taken on wider machines"
-        );
+    for w in refresh_warnings(&results, cores) {
+        eprintln!("warning: {w}");
     }
     let mode = if quick { "quick" } else { "full" };
     std::fs::write(OUTPUT_PATH, render_report(&results, mode, cores)).expect("write BENCH_ci.json");
@@ -184,6 +180,34 @@ pub fn run(quick: bool, update_baseline: bool) {
             std::process::exit(1);
         }
     }
+}
+
+/// Caveat lines for CI logs, emitted even when the gate passes: a pass on
+/// a host narrower than the gate's thread budget, or with a parallel
+/// median slower than the sequential one, says nothing about scaling —
+/// the checked-in `BENCH_ci.json` from the 1-core CI runner shows exactly
+/// this shape (speedups 0.59x/0.88x). The warnings sit next to the
+/// numbers they qualify so nobody reads them as a parallelism result.
+pub fn refresh_warnings(results: &[GateResult], host_cores: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    if host_cores > 0 && host_cores < GATE_THREADS {
+        out.push(format!(
+            "host has {host_cores} core(s) for a {GATE_THREADS}-thread gate: parallel \
+             medians oversubscribe the machine and speedups are meaningless; refresh \
+             {BASELINE_PATH} with --update-baseline once CI moves to a multicore runner"
+        ));
+    }
+    for r in results {
+        let s = r.speedup();
+        if s < 1.0 {
+            out.push(format!(
+                "{} parallel p50 is slower than sequential ({s:.2}x): read the gate as a \
+                 wall-clock regression check only, not as evidence of scaling",
+                r.name
+            ));
+        }
+    }
+    out
 }
 
 /// The core count recorded in a baseline, when present (older baselines
@@ -422,6 +446,25 @@ mod tests {
         let baseline = "{\n  \"threshold_p50_ms\": 1.0\n}\n";
         let err = check_against_baseline(&results, baseline, 0.25).unwrap_err();
         assert!(err[0].contains("missing"), "{err:?}");
+    }
+
+    #[test]
+    fn refresh_warnings_fire_on_narrow_host_and_inverted_speedup() {
+        // The shape the checked-in CI artifact shows: 1 core, speedups < 1.
+        let results = vec![result("threshold", 2.0, 1.2), result("topk", 8.0, 7.0)];
+        let warns = refresh_warnings(&results, 1);
+        assert_eq!(warns.len(), 3, "{warns:?}");
+        assert!(warns[0].contains("--update-baseline"), "{warns:?}");
+        assert!(warns[1].contains("threshold") && warns[1].contains("0.60x"), "{warns:?}");
+        assert!(warns[2].contains("topk"), "{warns:?}");
+    }
+
+    #[test]
+    fn refresh_warnings_silent_on_wide_host_with_real_speedup() {
+        let results = vec![result("threshold", 2.0, 6.0)];
+        assert!(refresh_warnings(&results, GATE_THREADS).is_empty());
+        // Unknown core count (0) must not warn about width either.
+        assert!(refresh_warnings(&results, 0).is_empty());
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub fn measured() {
                 "eps",
                 eps,
                 &[
+                    // report column name, not a registry metric: trass-lint: allow(drift)
                     ("trass_rows", t.mean_retrieved),
                     ("xz2_rows", j.mean_retrieved),
                     ("reduction_pct", reduction),

@@ -210,6 +210,8 @@ impl ScopedPool {
                             if let Some(obs) = obs {
                                 obs.queue_depth.add(-1);
                             }
+                            // The ticket counter hands each index to exactly
+                            // one worker: trass-lint: allow(unwrap)
                             let item = lock(&slots[i]).take().expect("task claimed twice");
                             let r = f(i, item);
                             *lock(&results[i]) = Some(r);
@@ -231,6 +233,8 @@ impl ScopedPool {
                 .map(|slot| {
                     slot.into_inner()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        // scope join guarantees every claimed slot was
+                        // filled: trass-lint: allow(unwrap)
                         .expect("worker completed every claimed task")
                 })
                 .collect(),

@@ -1,751 +1,130 @@
-//! `trass-lint` — workspace-specific static analysis for the TraSS codebase.
+//! trass-lint: dependency-free static analysis for the TraSS workspace.
 //!
-//! The compiler cannot see the invariants this repo lives by: the XZ\*
-//! integer encoding must stay bijective, rowkeys must sort consistently
-//! with scan ranges, and the kv crate's lock-heavy LSM path must not hold
-//! a guard across file I/O without saying why. This binary token-scans the
-//! workspace `.rs` files (no dependencies, no proc macros, no rustc
-//! internals) and enforces the project rules below with `file:line`
-//! diagnostics. It exits non-zero when any rule fires.
+//! ```text
+//! trass-lint [ROOT] [--format text|json] [--baseline PATH] [--write-baseline PATH]
+//! ```
 //!
-//! Rules (scopes exclude `#[cfg(test)]` regions and `src/bin/` binaries):
+//! Architecture: [`scanner`] turns each source file into a masked token
+//! view plus side tables; [`rules`] holds one module per rule — per-file
+//! line rules and the cross-file analyses (lock-order cycles, knob/metric
+//! drift); [`report`] renders findings as text or JSON and implements the
+//! checked-in-baseline workflow; [`json`] is the small parser both the
+//! baseline reader and the self-tests use.
 //!
-//! | rule             | scope             | forbids                               |
-//! |------------------|-------------------|---------------------------------------|
-//! | `unwrap`         | kv, core, index   | `.unwrap()` / `.expect(` in lib code  |
-//! | `cast`           | index, geo        | bare `as` numeric casts               |
-//! | `float-eq`       | geo, traj         | `==` / `!=` against float literals    |
-//! | `lock-across-io` | kv                | lock guard live across file I/O/scan  |
-//! | `pub-doc`        | geo, index, core  | `pub fn` without a doc comment        |
-//! | `no-print`       | all but bench     | `println!` / `eprintln!` in lib code  |
-//!
-//! Escape hatch: a `// trass-lint: allow(rule-a, rule-b)` comment on the
-//! offending line, or on the line immediately above it, suppresses those
-//! rules there. Every allow should carry a justification in the same
-//! comment block — the point is to make exceptions loud, not impossible.
-//!
-//! Usage: `cargo run -p trass-lint` from anywhere in the workspace, or
-//! `trass-lint <workspace-root>`.
+//! Exit code is 0 iff there are no findings outside the baseline, which
+//! makes `trass-lint --format json --baseline lint-baseline.json` the CI
+//! gate: pre-existing accepted debt stays visible (and auditable, each
+//! entry carries a reason) without blocking, while anything new fails.
 
-use std::collections::BTreeSet;
-use std::fmt;
+mod json;
+mod report;
+mod rules;
+mod scanner;
+
+use report::{Baseline, Diagnostic};
+use rules::drift::DocSet;
+use scanner::{FileInfo, PreparedFile};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
+const USAGE: &str = "usage: trass-lint [ROOT] [--format text|json] \
+                     [--baseline PATH] [--write-baseline PATH]";
 
-/// The project rules, in reporting order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Rule {
-    Unwrap,
-    Cast,
-    FloatEq,
-    LockAcrossIo,
-    PubDoc,
-    NoPrint,
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
 }
 
-impl Rule {
-    /// The name used in diagnostics and `allow(...)` comments.
-    fn name(self) -> &'static str {
-        match self {
-            Rule::Unwrap => "unwrap",
-            Rule::Cast => "cast",
-            Rule::FloatEq => "float-eq",
-            Rule::LockAcrossIo => "lock-across-io",
-            Rule::PubDoc => "pub-doc",
-            Rule::NoPrint => "no-print",
-        }
-    }
-
-    fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "unwrap" => Some(Rule::Unwrap),
-            "cast" => Some(Rule::Cast),
-            "float-eq" => Some(Rule::FloatEq),
-            "lock-across-io" => Some(Rule::LockAcrossIo),
-            "pub-doc" => Some(Rule::PubDoc),
-            "no-print" => Some(Rule::NoPrint),
-            _ => None,
-        }
-    }
-
-    /// Does this rule apply to library (non-bin, non-test) code of `krate`?
-    fn applies_to(self, krate: &str) -> bool {
-        match self {
-            Rule::Unwrap => matches!(krate, "kv" | "core" | "index"),
-            Rule::Cast => matches!(krate, "index" | "geo"),
-            Rule::FloatEq => matches!(krate, "geo" | "traj"),
-            Rule::LockAcrossIo => krate == "kv",
-            Rule::PubDoc => matches!(krate, "geo" | "index" | "core"),
-            Rule::NoPrint => krate != "bench",
-        }
-    }
+struct Cli {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
-/// One finding: where, which rule, and what to do about it.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Diagnostic {
-    path: String,
-    line: usize,
-    rule: Rule,
-    message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.name(), self.message)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source preprocessing
-// ---------------------------------------------------------------------------
-
-/// A source file after comment/string stripping, with the side tables the
-/// rules need. Line numbers are 1-based throughout.
-struct Prepared {
-    /// Source with comment bodies, string/char literal contents, and their
-    /// delimiters replaced by spaces. Newlines are preserved, so byte
-    /// offsets per line match the original.
-    masked_lines: Vec<String>,
-    /// Lines carrying a doc comment (`///`, `//!`, `/**`, `/*!`).
-    doc_lines: BTreeSet<usize>,
-    /// `(line, rule)` pairs from `trass-lint: allow(...)` comments.
-    allows: BTreeSet<(usize, Rule)>,
-    /// Lines inside a `#[cfg(test)]` item (the attribute's braced body).
-    test_lines: Vec<bool>,
-}
-
-impl Prepared {
-    fn is_test_line(&self, line: usize) -> bool {
-        self.test_lines.get(line - 1).copied().unwrap_or(false)
-    }
-
-    /// An allow on the diagnostic's own line or the line directly above
-    /// suppresses it.
-    fn is_allowed(&self, line: usize, rule: Rule) -> bool {
-        self.allows.contains(&(line, rule)) || (line > 1 && self.allows.contains(&(line - 1, rule)))
-    }
-}
-
-/// Strips comments and literals while recording doc lines and allows, then
-/// marks `#[cfg(test)]` regions by brace matching on the masked text.
-fn prepare(source: &str) -> Prepared {
-    let (masked, doc_lines, allows) = mask(source);
-    let masked_lines: Vec<String> = masked.lines().map(|l| l.to_string()).collect();
-    let n_lines = masked_lines.len().max(1);
-    let mut test_lines = vec![false; n_lines];
-
-    // `#[cfg(test)]` starts a pending region that binds to the next brace
-    // block; a `;` first means the attribute decorated a braceless item.
-    let mut depth: usize = 0;
-    let mut pending = false;
-    let mut test_depth: Option<usize> = None;
-    for (i, line) in masked_lines.iter().enumerate() {
-        if test_depth.is_some() || line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test")
-        {
-            if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
-                pending = true;
-            }
-            test_lines[i] = test_depth.is_some() || pending;
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if pending && test_depth.is_none() {
-                        test_depth = Some(depth);
-                        pending = false;
-                        test_lines[i] = true;
-                    }
-                }
-                '}' => {
-                    if test_depth == Some(depth) {
-                        test_depth = None;
-                        // The closing line still belongs to the region.
-                        test_lines[i] = true;
-                    }
-                    depth = depth.saturating_sub(1);
-                }
-                ';' if pending && test_depth.is_none() => pending = false,
-                _ => {}
-            }
-        }
-        if test_depth.is_some() {
-            test_lines[i] = true;
-        }
-    }
-
-    Prepared { masked_lines, doc_lines, allows, test_lines }
-}
-
-/// The comment/string stripper. Returns the masked text plus the doc-line
-/// and allow side tables gathered while walking comments.
-fn mask(source: &str) -> (String, BTreeSet<usize>, BTreeSet<(usize, Rule)>) {
-    #[derive(PartialEq)]
-    enum State {
-        Normal,
-        LineComment,
-        BlockComment(usize),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let bytes = source.as_bytes();
-    let mut out = String::with_capacity(source.len());
-    let mut doc_lines = BTreeSet::new();
-    let mut allows = BTreeSet::new();
-    let mut state = State::Normal;
-    let mut line = 1usize;
-    let mut i = 0usize;
-    let at = |j: usize| -> u8 {
-        if j < bytes.len() {
-            bytes[j]
-        } else {
-            0
-        }
-    };
-    while i < bytes.len() {
-        let c = bytes[i];
-        if c == b'\n' {
-            if state == State::LineComment {
-                state = State::Normal;
-            }
-            out.push('\n');
-            line += 1;
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Normal => {
-                if c == b'/' && at(i + 1) == b'/' {
-                    // Doc comment? (`///` but not `////`, or `//!`.)
-                    if (at(i + 2) == b'/' && at(i + 3) != b'/') || at(i + 2) == b'!' {
-                        doc_lines.insert(line);
-                    }
-                    record_allows(&source[i..], line, &mut allows);
-                    state = State::LineComment;
-                    out.push(' ');
-                    i += 1;
-                } else if c == b'/' && at(i + 1) == b'*' {
-                    if at(i + 2) == b'*' || at(i + 2) == b'!' {
-                        doc_lines.insert(line);
-                    }
-                    state = State::BlockComment(1);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                } else if c == b'"' {
-                    state = State::Str;
-                    out.push(' ');
-                    i += 1;
-                } else if (c == b'r' || (c == b'b' && at(i + 1) == b'r'))
-                    && !is_ident_byte(if i > 0 { bytes[i - 1] } else { 0 })
-                {
-                    // Possible raw string: r"..", r#".."#, br#".."#.
-                    let mut j = i + if c == b'b' { 2 } else { 1 };
-                    let mut hashes = 0;
-                    while at(j) == b'#' {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if at(j) == b'"' {
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                        state = State::RawStr(hashes);
-                    } else {
-                        out.push(c as char);
-                        i += 1;
-                    }
-                } else if c == b'\'' {
-                    // Char literal vs lifetime/label: 'x' or '\n' is a
-                    // literal; 'ident not followed by a quote is a lifetime.
-                    if at(i + 1) == b'\\' || (at(i + 2) == b'\'' && at(i + 1) != b'\'') {
-                        state = State::Char;
-                        out.push(' ');
-                        i += 1;
-                    } else {
-                        out.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    out.push(c as char);
-                    i += 1;
-                }
-            }
-            State::LineComment => {
-                out.push(' ');
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli =
+        Cli { root: default_root(), format: Format::Text, baseline: None, write_baseline: None };
+    let mut root_set = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
                 i += 1;
+                let v = args.get(i).ok_or("--format needs a value")?;
+                cli.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (want text or json)")),
+                };
             }
-            State::BlockComment(depth) => {
-                if c == b'*' && at(i + 1) == b'/' {
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
-                } else if c == b'/' && at(i + 1) == b'*' {
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    state = State::BlockComment(depth + 1);
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == b'\\' {
-                    out.push(' ');
-                    if at(i + 1) != b'\n' {
-                        out.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else if c == b'"' {
-                    out.push(' ');
-                    i += 1;
-                    state = State::Normal;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == b'"' {
-                    let mut j = i + 1;
-                    let mut seen = 0;
-                    while seen < hashes && at(j) == b'#' {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        for _ in i..j {
-                            out.push(' ');
-                        }
-                        i = j;
-                        state = State::Normal;
-                        continue;
-                    }
-                }
-                out.push(' ');
+            "--baseline" => {
                 i += 1;
+                cli.baseline = Some(PathBuf::from(args.get(i).ok_or("--baseline needs a path")?));
             }
-            State::Char => {
-                if c == b'\\' && i + 1 < bytes.len() {
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if c == b'\'' {
-                    out.push(' ');
-                    i += 1;
-                    state = State::Normal;
-                } else {
-                    out.push(' ');
-                    i += 1;
+            "--write-baseline" => {
+                i += 1;
+                cli.write_baseline =
+                    Some(PathBuf::from(args.get(i).ok_or("--write-baseline needs a path")?));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => {
+                if root_set {
+                    return Err(format!("unexpected second root argument {path:?}"));
                 }
+                cli.root = PathBuf::from(path);
+                root_set = true;
+            }
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+/// Resolves the default workspace root: the lint crate's grandparent (when
+/// built via cargo), else the current directory.
+fn default_root() -> PathBuf {
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        let p = Path::new(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
             }
         }
     }
-    (out, doc_lines, allows)
+    PathBuf::from(".")
 }
 
-/// Parses `trass-lint: allow(a, b)` out of a comment's text.
-fn record_allows(comment: &str, line: usize, allows: &mut BTreeSet<(usize, Rule)>) {
-    let comment = match comment.find('\n') {
-        Some(end) => &comment[..end],
-        None => comment,
-    };
-    let Some(tag) = comment.find("trass-lint:") else { return };
-    let rest = &comment[tag + "trass-lint:".len()..];
-    let Some(open) = rest.find("allow(") else { return };
-    let rest = &rest[open + "allow(".len()..];
-    let Some(close) = rest.find(')') else { return };
-    for name in rest[..close].split(',') {
-        if let Some(rule) = Rule::from_name(name.trim()) {
-            allows.insert((line, rule));
-        }
-    }
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-// ---------------------------------------------------------------------------
-// File classification
-// ---------------------------------------------------------------------------
-
-/// What the path tells us about a file, driving rule scoping.
-#[derive(Debug, Clone)]
-struct FileInfo {
-    /// Workspace-relative path, for diagnostics.
-    rel_path: String,
-    /// Crate short name: `kv`, `core`, ... or `trass` for the root package.
-    krate: String,
-    /// Binary targets (`src/bin/*`, `main.rs`) are exempt from lib rules.
-    is_bin: bool,
-    /// Files under a `tests/` or `benches/` directory are all-test.
-    is_test_file: bool,
-}
-
-impl FileInfo {
-    /// Classifies a path relative to the workspace root.
-    fn classify(rel: &Path) -> Option<FileInfo> {
-        let parts: Vec<&str> = rel.iter().filter_map(|p| p.to_str()).collect();
-        if parts.last().map(|f| f.ends_with(".rs")) != Some(true) {
-            return None;
-        }
-        let (krate, rest) = if parts.first() == Some(&"crates") && parts.len() >= 3 {
-            (parts[1].to_string(), &parts[2..])
-        } else {
-            ("trass".to_string(), &parts[..])
-        };
-        let is_test_file = rest.first() == Some(&"tests") || rest.first() == Some(&"benches");
-        let is_bin = rest.contains(&"bin")
-            || rest.last() == Some(&"main.rs")
-            || rest.first() == Some(&"examples");
-        Some(FileInfo { rel_path: rel.to_string_lossy().into_owned(), krate, is_bin, is_test_file })
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule checks
-// ---------------------------------------------------------------------------
-
-/// Lints one file's source, returning its (unsuppressed) findings.
-fn lint_source(info: &FileInfo, source: &str) -> Vec<Diagnostic> {
-    let prep = prepare(source);
-    let mut out = Vec::new();
-    let in_scope =
-        |rule: Rule| -> bool { rule.applies_to(&info.krate) && !info.is_bin && !info.is_test_file };
-    let mut push = |line: usize, rule: Rule, message: String, prep: &Prepared| {
-        if !prep.is_test_line(line) && !prep.is_allowed(line, rule) {
-            out.push(Diagnostic { path: info.rel_path.clone(), line, rule, message });
-        }
-    };
-
-    for (idx, masked) in prep.masked_lines.iter().enumerate() {
-        let line = idx + 1;
-        if in_scope(Rule::Unwrap) {
-            if masked.contains(".unwrap()") {
-                push(
-                    line,
-                    Rule::Unwrap,
-                    "`.unwrap()` in library code; propagate a typed error instead".into(),
-                    &prep,
-                );
-            }
-            if masked.contains(".expect(") && !masked.contains(".expect_err(") {
-                push(
-                    line,
-                    Rule::Unwrap,
-                    "`.expect(...)` in library code; propagate a typed error instead".into(),
-                    &prep,
-                );
-            }
-        }
-        if in_scope(Rule::Cast) {
-            if let Some(ty) = numeric_cast(masked) {
-                push(
-                    line,
-                    Rule::Cast,
-                    format!("bare `as {ty}` cast; use From/TryFrom or justify with an allow"),
-                    &prep,
-                );
-            }
-        }
-        if in_scope(Rule::FloatEq) {
-            if let Some(op) = float_literal_eq(masked) {
-                push(
-                    line,
-                    Rule::FloatEq,
-                    format!("`{op}` against a float literal; compare with a tolerance"),
-                    &prep,
-                );
-            }
-        }
-        if in_scope(Rule::NoPrint) && (masked.contains("println!") || masked.contains("eprintln!"))
-        {
-            push(
-                line,
-                Rule::NoPrint,
-                "`println!`/`eprintln!` in library code; use the obs registry or return data"
-                    .into(),
-                &prep,
-            );
-        }
-    }
-
-    if in_scope(Rule::PubDoc) {
-        check_pub_doc(info, &prep, &mut out);
-    }
-    if in_scope(Rule::LockAcrossIo) {
-        check_lock_across_io(info, &prep, &mut out);
-    }
-    out
-}
-
-/// Numeric types a bare `as` cast can silently truncate or round to.
-const NUMERIC_TYPES: [&str; 13] =
-    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32"];
-// `f64` is handled with the list above; kept separate only to document that
-// int→f64 widening can still lose precision past 2^53.
-
-/// Returns the target type of the first bare numeric `as` cast on the line.
-fn numeric_cast(masked: &str) -> Option<&'static str> {
-    let mut words = Vec::new();
-    let mut start = None;
-    for (i, c) in masked.char_indices() {
-        if c.is_ascii_alphanumeric() || c == '_' {
-            if start.is_none() {
-                start = Some(i);
-            }
-        } else if let Some(s) = start.take() {
-            words.push(&masked[s..i]);
-        }
-    }
-    if let Some(s) = start {
-        words.push(&masked[s..]);
-    }
-    for pair in words.windows(2) {
-        if pair[0] == "as" {
-            if let Some(ty) = NUMERIC_TYPES.iter().find(|t| **t == pair[1]) {
-                return Some(ty);
-            }
-            if pair[1] == "f64" {
-                return Some("f64");
-            }
-        }
-    }
-    None
-}
-
-/// Detects `==` / `!=` with a float literal on either side.
-fn float_literal_eq(masked: &str) -> Option<&'static str> {
-    let bytes = masked.as_bytes();
-    for i in 0..bytes.len().saturating_sub(1) {
-        let op = match (bytes[i], bytes[i + 1]) {
-            (b'=', b'=') => "==",
-            (b'!', b'=') => "!=",
-            _ => continue,
-        };
-        // Skip `<=`, `>=`, `===`-like runs and pattern arms `=>`.
-        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
-            continue;
-        }
-        if bytes.get(i + 2) == Some(&b'=') || bytes.get(i + 2) == Some(&b'>') {
-            continue;
-        }
-        let before = masked[..i].trim_end();
-        let after = masked[i + 2..].trim_start();
-        if ends_with_float_literal(before) || starts_with_float_literal(after) {
-            return Some(op);
-        }
-    }
-    None
-}
-
-fn starts_with_float_literal(s: &str) -> bool {
-    let s = s.strip_prefix('-').unwrap_or(s);
-    let digits = s.len() - s.trim_start_matches(|c: char| c.is_ascii_digit()).len();
-    digits > 0 && s[digits..].starts_with('.')
-}
-
-fn ends_with_float_literal(s: &str) -> bool {
-    // Accept `1.0`, `0.5`, `1e-9` style tails preceded by a `.digits` part.
-    let tail = s.trim_end_matches(|c: char| c.is_ascii_digit() || c == '_' || c == 'e' || c == '-');
-    if tail.len() == s.len() {
-        return false;
-    }
-    tail.ends_with('.') && tail[..tail.len() - 1].ends_with(|c: char| c.is_ascii_digit())
-}
-
-/// Every `pub fn` (not `pub(crate)`) must carry a doc comment, looking
-/// upward past attributes.
-fn check_pub_doc(info: &FileInfo, prep: &Prepared, out: &mut Vec<Diagnostic>) {
-    for (idx, masked) in prep.masked_lines.iter().enumerate() {
-        let line = idx + 1;
-        let t = masked.trim_start();
-        let is_pub_fn = ["pub fn ", "pub const fn ", "pub unsafe fn ", "pub async fn "]
-            .iter()
-            .any(|p| t.starts_with(p));
-        if !is_pub_fn || prep.is_test_line(line) || prep.is_allowed(line, Rule::PubDoc) {
-            continue;
-        }
-        // Walk upward over attributes and blank lines to the nearest
-        // non-attribute line; it must be a doc comment.
-        let mut j = idx;
-        let mut documented = false;
-        while j > 0 {
-            j -= 1;
-            let up = prep.masked_lines[j].trim();
-            if prep.doc_lines.contains(&(j + 1)) {
-                documented = true;
-                break;
-            }
-            // Skip attribute lines (masked comments are blank).
-            if up.is_empty() || up.starts_with("#[") || up.starts_with("#![") || up.ends_with(")]")
-            {
-                continue;
-            }
-            break;
-        }
-        if !documented {
-            let name = fn_name(t).unwrap_or("function");
-            out.push(Diagnostic {
-                path: info.rel_path.clone(),
-                line,
-                rule: Rule::PubDoc,
-                message: format!("public function `{name}` has no doc comment"),
-            });
-        }
-    }
-}
-
-fn fn_name(decl: &str) -> Option<&str> {
-    let after = decl.split("fn ").nth(1)?;
-    let end = after.find(|c: char| !c.is_ascii_alphanumeric() && c != '_')?;
-    Some(&after[..end])
-}
-
-/// Calls that do file I/O or long scans; a lock guard must not be live
-/// across them without an explicit allow.
-const IO_MARKERS: [&str; 14] = [
-    "std::fs::",
-    "fs::write",
-    "fs::read",
-    "fs::rename",
-    "fs::remove_file",
-    "File::open",
-    "OpenOptions",
-    "::create(",
-    "sync_data",
-    "sync_all",
-    "read_exact",
-    "read_to_end",
-    "write_all(",
-    ".scan(",
-];
-
-/// Heuristic block-scope analysis: a `let guard = ....lock()/.read()/.write()`
-/// binding is live until its enclosing block closes or it is `drop`ped;
-/// any I/O marker inside that window fires.
-fn check_lock_across_io(info: &FileInfo, prep: &Prepared, out: &mut Vec<Diagnostic>) {
-    struct Guard {
-        name: String,
-        depth: usize,
-        line: usize,
-    }
-    let mut depth = 0usize;
-    let mut guards: Vec<Guard> = Vec::new();
-    for (idx, masked) in prep.masked_lines.iter().enumerate() {
-        let line = idx + 1;
-        let is_test = prep.is_test_line(line);
-
-        // I/O markers first: a guard bound on this same line (e.g. a match
-        // on `.read()` + I/O in one statement) still counts as held.
-        if !is_test {
-            for marker in IO_MARKERS {
-                if masked.contains(marker) {
-                    if let Some(g) = guards.iter().find(|g| g.line < line) {
-                        if !prep.is_allowed(line, Rule::LockAcrossIo) {
-                            out.push(Diagnostic {
-                                path: info.rel_path.clone(),
-                                line,
-                                rule: Rule::LockAcrossIo,
-                                message: format!(
-                                    "`{marker}` while lock guard `{}` (bound line {}) is live; \
-                                     drop the guard first or justify with an allow",
-                                    g.name, g.line
-                                ),
-                            });
-                        }
-                        break;
-                    }
-                }
-            }
-        }
-
-        // New guard binding?
-        if !is_test {
-            if let Some(name) = guard_binding(masked) {
-                guards.push(Guard { name: name.to_string(), depth, line });
-            }
-        }
-
-        // Explicit drops release the guard.
-        guards.retain(|g| !masked.contains(&format!("drop({})", g.name)));
-
-        for c in masked.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    guards.retain(|g| g.depth <= depth);
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-/// Extracts the bound name from `let [mut] <name> = <expr>.lock()/.read()/.write()`.
-fn guard_binding(masked: &str) -> Option<&str> {
-    let has_acquire = [".lock()", ".read()", ".write()", ".try_lock()", ".try_read()"]
-        .iter()
-        .any(|p| masked.contains(p));
-    if !has_acquire {
-        return None;
-    }
-    let t = masked.trim_start();
-    let rest = t.strip_prefix("let ")?;
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-    let end = rest.find(|c: char| !c.is_ascii_alphanumeric() && c != '_')?;
-    let name = &rest[..end];
-    if name.is_empty() || name == "_" {
-        None
-    } else {
-        Some(name)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Workspace walking
-// ---------------------------------------------------------------------------
-
-/// Lints every `.rs` file under `crates/*/src` and the root `src/`.
-fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
+/// Reads and prepares every `.rs` file under `crates/*/src`, `crates/*/tests`,
+/// and the root `src/`, plus the doc/CI text the drift analysis uses.
+fn load_workspace(root: &Path) -> std::io::Result<(Vec<PreparedFile>, DocSet)> {
+    let mut paths = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         for entry in std::fs::read_dir(&crates_dir)? {
-            let src = entry?.path().join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut files)?;
+            let krate = entry?.path();
+            for sub in ["src", "tests", "benches"] {
+                let dir = krate.join(sub);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut paths)?;
+                }
             }
         }
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        collect_rs(&root_src, &mut files)?;
+        collect_rs(&root_src, &mut paths)?;
     }
-    files.sort();
-    let mut out = Vec::new();
-    for path in files {
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let Some(info) = FileInfo::classify(rel) else { continue };
         let source = std::fs::read_to_string(&path)?;
-        out.extend(lint_source(&info, &source));
+        files.push(PreparedFile::new(info, &source));
     }
-    out.sort();
-    Ok(out)
+    Ok((files, load_docs(root)))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -760,210 +139,206 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Resolves the workspace root: explicit argument, else the lint crate's
-/// grandparent (when run via cargo), else the current directory.
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
-    }
-    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
-        let p = Path::new(manifest);
-        if let Some(root) = p.parent().and_then(|p| p.parent()) {
-            if root.join("Cargo.toml").is_file() {
-                return root.to_path_buf();
-            }
+/// Loads README/DESIGN and CI workflow text (all optional; absent files
+/// read as empty, which the drift analysis treats as "documents nothing").
+fn load_docs(root: &Path) -> DocSet {
+    let read = |p: PathBuf| std::fs::read_to_string(p).unwrap_or_default();
+    let mut workflows = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join(".github").join("workflows")) {
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "yml" || e == "yaml"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let rel = p.strip_prefix(root).unwrap_or(&p).to_string_lossy().into_owned();
+            workflows.push((rel, read(p.clone())));
         }
     }
-    PathBuf::from(".")
+    DocSet { readme: read(root.join("README.md")), design: read(root.join("DESIGN.md")), workflows }
+}
+
+/// Runs every per-file rule and the cross-file analyses; sorted output.
+fn lint_all(files: &[PreparedFile], docs: &DocSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        out.extend(rules::lint_file(file));
+    }
+    out.extend(rules::lint_cross_file(files, docs));
+    out.sort();
+    out
+}
+
+/// The process exit policy: only findings outside the baseline fail.
+fn exit_code_for(new: &[Diagnostic]) -> u8 {
+    u8::from(!new.is_empty())
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
-    match lint_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("trass-lint: clean");
-            ExitCode::SUCCESS
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("trass-lint: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
         }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("trass-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    };
+    let (files, docs) = match load_workspace(&cli.root) {
+        Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("trass-lint: I/O error: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    let diags = lint_all(&files, &docs);
+
+    if let Some(path) = &cli.write_baseline {
+        if let Err(e) = std::fs::write(path, report::render_baseline(&diags)) {
+            eprintln!("trass-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trass-lint: wrote {} finding(s) to {}; fill in each \"reason\" before committing",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &cli.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("trass-lint: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Baseline::parse(&text) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("trass-lint: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Baseline::default(),
+    };
+    let (new, baselined) = baseline.split(diags);
+
+    match cli.format {
+        Format::Json => print!("{}", report::render_json(&new, &baselined)),
+        Format::Text => {
+            for d in &new {
+                println!("{d}");
+            }
+            if new.is_empty() {
+                println!("trass-lint: clean ({} baselined finding(s))", baselined.len());
+            } else {
+                println!("trass-lint: {} new finding(s), {} baselined", new.len(), baselined.len());
+            }
+        }
+    }
+    if exit_code_for(&new) == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
 // ---------------------------------------------------------------------------
-// Self-tests: every rule demonstrated firing on a fixture, the escape
-// hatch, test-region exemption, and the real workspace staying clean.
+// Self-tests: CLI parsing, the JSON pipeline end-to-end on the real
+// workspace, and the workspace staying clean modulo the checked-in
+// baseline (the living proof every accepted finding is accounted for).
 // ---------------------------------------------------------------------------
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn kv_lib() -> FileInfo {
-        FileInfo {
-            rel_path: "crates/kv/src/fixture.rs".into(),
-            krate: "kv".into(),
-            is_bin: false,
-            is_test_file: false,
-        }
-    }
-
-    fn info_for(krate: &str) -> FileInfo {
-        FileInfo {
-            rel_path: format!("crates/{krate}/src/fixture.rs"),
-            krate: krate.into(),
-            is_bin: false,
-            is_test_file: false,
-        }
-    }
-
-    fn rules_fired(info: &FileInfo, src: &str) -> Vec<(usize, Rule)> {
-        lint_source(info, src).into_iter().map(|d| (d.line, d.rule)).collect()
-    }
-
     #[test]
-    fn unwrap_rule_fires_with_file_and_line() {
-        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-        let diags = lint_source(&kv_lib(), src);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].line, 2);
-        assert_eq!(diags[0].rule, Rule::Unwrap);
-        assert_eq!(diags[0].path, "crates/kv/src/fixture.rs");
+    fn cli_defaults_and_flags_parse() {
+        let cli = parse_args(&[]).unwrap();
+        assert!(cli.format == Format::Text && cli.baseline.is_none());
+        let args: Vec<String> = ["/x", "--format", "json", "--baseline", "b.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse_args(&args).unwrap();
+        assert!(cli.format == Format::Json);
+        assert_eq!(cli.root, PathBuf::from("/x"));
+        assert_eq!(cli.baseline, Some(PathBuf::from("b.json")));
+        assert!(parse_args(&["--format".into(), "xml".into()]).is_err());
+        assert!(parse_args(&["--nope".into()]).is_err());
+        assert!(parse_args(&["a".into(), "b".into()]).is_err());
     }
 
-    #[test]
-    fn expect_fires_but_expect_err_does_not() {
-        let src = "fn f(x: Result<u8, u8>) -> u8 {\n    x.expect(\"boom\")\n}\n\
-                   fn g(x: Result<u8, u8>) -> u8 {\n    x.expect_err(\"fine\")\n}\n";
-        assert_eq!(rules_fired(&kv_lib(), src), vec![(2, Rule::Unwrap)]);
-    }
-
-    #[test]
-    fn cast_rule_fires_in_index_not_in_kv() {
-        let src = "fn f(x: u64) -> u32 {\n    x as u32\n}\n";
-        assert_eq!(rules_fired(&info_for("index"), src), vec![(2, Rule::Cast)]);
-        assert!(rules_fired(&kv_lib(), src).is_empty());
-    }
-
-    #[test]
-    fn float_eq_rule_fires_on_literal_comparison() {
-        let src = "fn f(d: f64) -> bool {\n    d == 0.0\n}\nfn g(a: u32, b: u32) -> bool {\n    a == b\n}\n";
-        assert_eq!(rules_fired(&info_for("geo"), src), vec![(2, Rule::FloatEq)]);
-    }
-
-    #[test]
-    fn float_eq_ignores_match_arms_and_orderings() {
-        let src = "fn f(d: f64) -> u8 {\n    if d <= 1.0 { 0 } else { 1 }\n}\n";
-        assert!(rules_fired(&info_for("geo"), src).is_empty());
-    }
-
-    #[test]
-    fn lock_across_io_fires_on_guard_held_over_fs_call() {
-        let src = "fn f(m: &std::sync::Mutex<u8>) {\n    let guard = m.lock();\n    \
-                   let _ = std::fs::read(\"x\");\n    drop(guard);\n}\n";
-        assert_eq!(rules_fired(&kv_lib(), src), vec![(3, Rule::LockAcrossIo)]);
-    }
-
-    #[test]
-    fn lock_across_io_respects_drop_and_scope() {
-        let dropped = "fn f(m: &std::sync::Mutex<u8>) {\n    let guard = m.lock();\n    \
-                       drop(guard);\n    let _ = std::fs::read(\"x\");\n}\n";
-        assert!(rules_fired(&kv_lib(), dropped).is_empty());
-        let scoped =
-            "fn f(m: &std::sync::Mutex<u8>) {\n    {\n        let guard = m.lock();\n    }\n    \
-                      let _ = std::fs::read(\"x\");\n}\n";
-        assert!(rules_fired(&kv_lib(), scoped).is_empty());
-    }
-
-    #[test]
-    fn pub_doc_rule_fires_without_doc_and_passes_with() {
-        let undocumented = "pub fn lonely() {}\n";
-        assert_eq!(rules_fired(&info_for("geo"), undocumented), vec![(1, Rule::PubDoc)]);
-        let documented = "/// Does the thing.\n#[inline]\npub fn fine() {}\n";
-        assert!(rules_fired(&info_for("geo"), documented).is_empty());
-        let crate_private = "pub(crate) fn hidden() {}\n";
-        assert!(rules_fired(&info_for("geo"), crate_private).is_empty());
-    }
-
-    #[test]
-    fn no_print_fires_in_lib_but_not_in_bench_or_bin() {
-        let src = "fn f() {\n    println!(\"hi\");\n}\n";
-        assert_eq!(rules_fired(&info_for("obs"), src), vec![(2, Rule::NoPrint)]);
-        assert!(rules_fired(&info_for("bench"), src).is_empty());
-        let bin = FileInfo {
-            rel_path: "crates/kv/src/bin/tool.rs".into(),
-            krate: "kv".into(),
-            is_bin: true,
-            is_test_file: false,
-        };
-        assert!(rules_fired(&bin, src).is_empty());
-    }
-
-    #[test]
-    fn allow_comment_suppresses_same_line_and_next_line() {
-        let same = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // trass-lint: allow(unwrap)\n}\n";
-        assert!(rules_fired(&kv_lib(), same).is_empty());
-        let above = "fn f(x: Option<u8>) -> u8 {\n    // justified: trass-lint: allow(unwrap)\n    x.unwrap()\n}\n";
-        assert!(rules_fired(&kv_lib(), above).is_empty());
-        let wrong_rule =
-            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // trass-lint: allow(cast)\n}\n";
-        assert_eq!(rules_fired(&kv_lib(), wrong_rule), vec![(2, Rule::Unwrap)]);
-    }
-
-    #[test]
-    fn cfg_test_regions_are_exempt() {
-        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
-                   Some(1).unwrap();\n    }\n}\n";
-        assert!(rules_fired(&kv_lib(), src).is_empty());
-    }
-
-    #[test]
-    fn comments_and_strings_do_not_fire() {
-        let src = "fn f() -> &'static str {\n    // calling .unwrap() here would be bad\n    \
-                   \"x as u32 == 0.0 .unwrap()\"\n}\n";
-        assert!(rules_fired(&kv_lib(), src).is_empty());
-        assert!(rules_fired(&info_for("index"), src).is_empty());
-    }
-
-    #[test]
-    fn raw_strings_and_chars_are_masked() {
-        let src =
-            "fn f() -> char {\n    let _s = r#\"x.unwrap()\"#;\n    let _t = 'a';\n    '\\n'\n}\n";
-        assert!(rules_fired(&kv_lib(), src).is_empty());
-    }
-
-    #[test]
-    fn doc_examples_inside_doc_comments_do_not_fire() {
-        let src = "/// Example:\n/// ```\n/// let x = Some(1).unwrap();\n/// ```\npub fn f() {}\n";
-        assert!(rules_fired(&kv_lib(), src).is_empty());
-    }
-
-    #[test]
-    fn workspace_is_clean() {
-        // The gate itself: the real tree must pass every rule. Locating the
-        // root works both under cargo and when compiled with plain rustc.
-        let root = option_env!("CARGO_MANIFEST_DIR")
-            .map(|m| Path::new(m).join("../.."))
-            .filter(|p| p.join("Cargo.toml").is_file())
-            .unwrap_or_else(|| PathBuf::from("."));
+    fn real_workspace() -> Option<(Vec<PreparedFile>, DocSet, Baseline)> {
+        let root = default_root();
         if !root.join("crates").is_dir() {
-            // Running outside the workspace (e.g. a bare rustc test build
-            // from another directory): nothing to check.
-            return;
+            return None; // out-of-tree build; nothing to lint
         }
-        let diags = lint_workspace(&root).expect("workspace readable");
-        assert!(
-            diags.is_empty(),
-            "workspace has lint violations:\n{}",
-            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        let (files, docs) = load_workspace(&root).expect("workspace readable");
+        let baseline_path = root.join("lint-baseline.json");
+        let baseline = if baseline_path.is_file() {
+            let text = std::fs::read_to_string(&baseline_path).expect("baseline readable");
+            Baseline::parse(&text).expect("lint-baseline.json must parse with reasons")
+        } else {
+            Baseline::default()
+        };
+        Some((files, docs, baseline))
+    }
+
+    #[test]
+    fn workspace_is_clean_modulo_baseline() {
+        let Some((files, docs, baseline)) = real_workspace() else { return };
+        let (new, _) = baseline.split(lint_all(&files, &docs));
+        let listing = new.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        assert!(new.is_empty(), "new findings outside lint-baseline.json:\n{listing}");
+    }
+
+    #[test]
+    fn json_report_of_real_workspace_round_trips() {
+        let Some((files, docs, baseline)) = real_workspace() else { return };
+        let (new, baselined) = baseline.split(lint_all(&files, &docs));
+        let rendered = report::render_json(&new, &baselined);
+        let doc = json::parse(&rendered).expect("report is valid JSON");
+        assert_eq!(doc.get("new_findings").and_then(json::Json::as_num), Some(new.len() as f64));
+        assert_eq!(
+            doc.get("baselined_findings").and_then(json::Json::as_num),
+            Some(baselined.len() as f64)
         );
+        let findings = doc.get("findings").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(findings.len(), new.len() + baselined.len());
+        for f in findings {
+            for field in ["rule", "path", "message"] {
+                assert!(f.get(field).and_then(json::Json::as_str).is_some(), "missing {field}");
+            }
+            assert!(f.get("line").and_then(json::Json::as_num).is_some());
+        }
+    }
+
+    #[test]
+    fn baselined_findings_exit_zero_and_new_findings_exit_one() {
+        let finding = Diagnostic {
+            path: "crates/kv/src/x.rs".into(),
+            line: 7,
+            rule: rules::Rule::Unwrap,
+            message: "`.unwrap()` in library code; propagate a typed error instead".into(),
+        };
+        let baseline = Baseline::parse(
+            r#"{"version": 1, "findings": [
+                {"rule": "unwrap", "path": "crates/kv/src/x.rs",
+                 "message": "`.unwrap()` in library code; propagate a typed error instead",
+                 "reason": "accepted"}
+            ]}"#,
+        )
+        .unwrap();
+        let (new, baselined) = baseline.split(vec![finding.clone()]);
+        assert_eq!((new.len(), baselined.len()), (0, 1));
+        assert_eq!(exit_code_for(&new), 0, "baselined finding must pass");
+        let (new, _) = Baseline::default().split(vec![finding]);
+        assert_eq!(exit_code_for(&new), 1, "non-baselined finding must fail");
     }
 }

@@ -1,0 +1,272 @@
+//! Finding representation and output: human text, machine JSON
+//! (`--format json`), and the checked-in baseline workflow
+//! (`--baseline lint-baseline.json`).
+//!
+//! The baseline exists so a *newly added* analysis can land with its
+//! pre-existing accepted findings recorded instead of blocking CI, while
+//! any finding not in the baseline still fails the build. Entries match on
+//! `(rule, path, message)` — deliberately **not** on line number, so
+//! unrelated edits shifting a file do not churn the baseline — and are
+//! counted: two identical findings need two entries. Every entry carries a
+//! human `reason`, making the accepted debt auditable in review.
+
+use crate::json::{self, Json};
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One finding: where, which rule, and what to do about it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line. Cross-file findings that have no single line use the
+    /// primary acquisition/declaration site.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description, stable across unrelated edits (used for
+    /// baseline matching).
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.name(), self.message)
+    }
+}
+
+/// The multiset key baseline entries match on.
+fn key(rule: &str, path: &str, message: &str) -> String {
+    format!("{rule}\u{1}{path}\u{1}{message}")
+}
+
+/// A loaded `lint-baseline.json`: accepted findings as a counted multiset.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+    /// Total entries loaded (for reporting).
+    pub len: usize,
+}
+
+impl Baseline {
+    /// Parses the baseline file format:
+    /// `{"version": 1, "findings": [{"rule", "path", "message", "reason", ...}]}`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let findings = doc
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("baseline has no \"findings\" array")?;
+        let mut baseline = Baseline::default();
+        for (i, entry) in findings.iter().enumerate() {
+            let field = |name: &str| -> Result<&str, String> {
+                entry
+                    .get(name)
+                    .and_then(Json::as_str)
+                    .ok_or(format!("baseline finding #{i} lacks string field {name:?}"))
+            };
+            let rule = field("rule")?;
+            if Rule::from_name(rule).is_none() {
+                return Err(format!("baseline finding #{i} names unknown rule {rule:?}"));
+            }
+            // `reason` is required: un-justified accepted debt defeats the
+            // point of an auditable baseline.
+            if field("reason")?.trim().is_empty() {
+                return Err(format!("baseline finding #{i} has an empty reason"));
+            }
+            let k = key(rule, field("path")?, field("message")?);
+            *baseline.counts.entry(k).or_insert(0) += 1;
+            baseline.len += 1;
+        }
+        Ok(baseline)
+    }
+
+    /// Splits `diags` into (new, baselined). Each baseline entry absorbs at
+    /// most one matching finding; extra occurrences beyond the baselined
+    /// count are new.
+    pub fn split(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+        let mut remaining = self.counts.clone();
+        let mut fresh = Vec::new();
+        let mut known = Vec::new();
+        for d in diags {
+            let k = key(d.rule.name(), &d.path, &d.message);
+            match remaining.get_mut(&k) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    known.push(d);
+                }
+                _ => fresh.push(d),
+            }
+        }
+        (fresh, known)
+    }
+}
+
+/// Renders findings as the machine-readable report. `new` and `baselined`
+/// partition all findings; the schema is stable for CI consumers:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "new_findings": 0,
+///   "baselined_findings": 2,
+///   "findings": [
+///     {"rule": "...", "path": "...", "line": 1, "message": "...", "baselined": true}
+///   ]
+/// }
+/// ```
+pub fn render_json(new: &[Diagnostic], baselined: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"new_findings\": {},\n", new.len()));
+    out.push_str(&format!("  \"baselined_findings\": {},\n", baselined.len()));
+    out.push_str("  \"findings\": [\n");
+    let total = new.len() + baselined.len();
+    let rows = new
+        .iter()
+        .map(|d| (d, false))
+        .chain(baselined.iter().map(|d| (d, true)))
+        .enumerate()
+        .map(|(i, (d, known))| {
+            format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+                 \"baselined\": {}}}{}",
+                json::escape(d.rule.name()),
+                json::escape(&d.path),
+                d.line,
+                json::escape(&d.message),
+                known,
+                if i + 1 < total { "," } else { "" }
+            )
+        })
+        .collect::<Vec<_>>();
+    out.push_str(&rows.join("\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders findings as a fresh baseline file, with placeholder reasons to
+/// be filled in by hand (the parser rejects empty ones, so a generated
+/// baseline cannot be committed unreviewed... unless someone writes
+/// "TODO", which review should catch).
+pub fn render_baseline(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    let rows = diags
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+                 \"reason\": \"TODO: justify\"}}{}",
+                json::escape(d.rule.name()),
+                json::escape(&d.path),
+                d.line,
+                json::escape(&d.message),
+                if i + 1 < diags.len() { "," } else { "" }
+            )
+        })
+        .collect::<Vec<_>>();
+    out.push_str(&rows.join("\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: Rule, path: &str, line: usize, message: &str) -> Diagnostic {
+        Diagnostic { path: path.into(), line, rule, message: message.into() }
+    }
+
+    #[test]
+    fn baseline_absorbs_known_findings_and_flags_new_ones() {
+        let baseline = Baseline::parse(
+            r#"{"version": 1, "findings": [
+                {"rule": "unwrap", "path": "crates/kv/src/a.rs",
+                 "message": "old debt", "reason": "accepted in PR 9"}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(baseline.len, 1);
+        let diags = vec![
+            diag(Rule::Unwrap, "crates/kv/src/a.rs", 10, "old debt"),
+            diag(Rule::Unwrap, "crates/kv/src/a.rs", 20, "new debt"),
+        ];
+        let (new, known) = baseline.split(diags);
+        assert_eq!(known.len(), 1, "baselined finding absorbed (line ignored)");
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].message, "new debt");
+    }
+
+    #[test]
+    fn baseline_entries_are_counted_not_set_matched() {
+        let baseline = Baseline::parse(
+            r#"{"version": 1, "findings": [
+                {"rule": "unwrap", "path": "a.rs", "message": "m", "reason": "r"}
+            ]}"#,
+        )
+        .unwrap();
+        // Two identical findings, one baseline entry: the second is new.
+        let diags = vec![diag(Rule::Unwrap, "a.rs", 1, "m"), diag(Rule::Unwrap, "a.rs", 2, "m")];
+        let (new, known) = baseline.split(diags);
+        assert_eq!((new.len(), known.len()), (1, 1));
+    }
+
+    #[test]
+    fn baseline_rejects_missing_reason_and_unknown_rule() {
+        let no_reason = r#"{"findings": [{"rule": "unwrap", "path": "a", "message": "m"}]}"#;
+        assert!(Baseline::parse(no_reason).is_err());
+        let empty_reason =
+            r#"{"findings": [{"rule": "unwrap", "path": "a", "message": "m", "reason": " "}]}"#;
+        assert!(Baseline::parse(empty_reason).is_err());
+        let bad_rule =
+            r#"{"findings": [{"rule": "wat", "path": "a", "message": "m", "reason": "r"}]}"#;
+        assert!(Baseline::parse(bad_rule).is_err());
+    }
+
+    #[test]
+    fn json_report_round_trips_through_the_parser() {
+        let new = vec![diag(Rule::LockOrder, "crates/kv/src/store.rs", 3, "cycle \"a\" -> b\n")];
+        let known = vec![diag(Rule::Drift, "README.md", 0, "dead knob")];
+        let rendered = render_json(&new, &known);
+        let doc = json::parse(&rendered).expect("report must be valid JSON");
+        assert_eq!(doc.get("new_findings").and_then(Json::as_num), Some(1.0));
+        assert_eq!(doc.get("baselined_findings").and_then(Json::as_num), Some(1.0));
+        let findings = doc.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(findings.len(), 2);
+        assert_eq!(
+            findings[0].get("message").and_then(Json::as_str),
+            Some("cycle \"a\" -> b\n"),
+            "escaping must round-trip"
+        );
+        assert_eq!(findings[1].get("baselined"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rendered_baseline_parses_after_reasons_are_filled() {
+        let diags = vec![diag(Rule::PanicSurface, "crates/obs/src/x.rs", 9, "assert! in lib")];
+        let rendered = render_baseline(&diags);
+        // Fresh render carries TODO reasons, which parse (auditing is a
+        // review concern), and the round-trip matches the same finding.
+        let baseline = Baseline::parse(&rendered).unwrap();
+        let (new, known) = baseline.split(diags);
+        assert!(new.is_empty());
+        assert_eq!(known.len(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_with_zero_counts() {
+        let rendered = render_json(&[], &[]);
+        let doc = json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("new_findings").and_then(Json::as_num), Some(0.0));
+        assert_eq!(doc.get("findings").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    }
+}

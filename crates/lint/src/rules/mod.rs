@@ -1,0 +1,155 @@
+//! The project rule set.
+//!
+//! Per-file rules ([`lint_file`]) see one [`PreparedFile`] at a time and
+//! fire on lines; cross-file analyses ([`lint_cross_file`]) see the whole
+//! prepared workspace (plus the docs/CI text the drift analysis
+//! cross-references) and fire on global properties — lock-graph cycles,
+//! knob/metric drift. Adding a rule means: a variant here (name +
+//! `applies_to` scope), a check in the matching module, fixture tests in
+//! that module, and a row in the README/DESIGN rule tables.
+
+pub mod drift;
+pub mod lock_io;
+pub mod lock_order;
+pub mod panic_surface;
+pub mod pub_doc;
+pub mod tokens;
+
+use crate::report::Diagnostic;
+use crate::scanner::PreparedFile;
+
+/// The project rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` in library code.
+    Unwrap,
+    /// Bare `as` numeric casts.
+    Cast,
+    /// `==` / `!=` against float literals.
+    FloatEq,
+    /// Lock guard live across blocking calls (I/O, scans, pool fan-out,
+    /// channel recv, joins).
+    LockAcrossIo,
+    /// `pub fn` without a doc comment.
+    PubDoc,
+    /// `println!` / `eprintln!` in library code.
+    NoPrint,
+    /// `assert!`, range-slice indexing, and integer `/`-`%` by non-literal
+    /// divisors in library code.
+    PanicSurface,
+    /// Inconsistent global lock-acquisition order (cycle in the workspace
+    /// lock graph) or re-entrant acquisition of one lock.
+    LockOrder,
+    /// Config-knob / metric-name drift between code, docs, tests, and CI.
+    Drift,
+}
+
+/// Every rule, in reporting order (drives `--help` and the JSON header).
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::Unwrap,
+    Rule::Cast,
+    Rule::FloatEq,
+    Rule::LockAcrossIo,
+    Rule::PubDoc,
+    Rule::NoPrint,
+    Rule::PanicSurface,
+    Rule::LockOrder,
+    Rule::Drift,
+];
+
+impl Rule {
+    /// The name used in diagnostics and `allow(...)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Cast => "cast",
+            Rule::FloatEq => "float-eq",
+            Rule::LockAcrossIo => "lock-across-io",
+            Rule::PubDoc => "pub-doc",
+            Rule::NoPrint => "no-print",
+            Rule::PanicSurface => "panic-surface",
+            Rule::LockOrder => "lock-order",
+            Rule::Drift => "drift",
+        }
+    }
+
+    /// Parses a rule name (as used in `allow(...)` comments).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Does this rule apply to library (non-bin, non-test) code of `krate`?
+    pub fn applies_to(self, krate: &str) -> bool {
+        match self {
+            Rule::Unwrap => matches!(krate, "kv" | "core" | "index" | "exec" | "obs"),
+            Rule::Cast => matches!(krate, "index" | "geo"),
+            Rule::FloatEq => matches!(krate, "geo" | "traj"),
+            Rule::LockAcrossIo => matches!(krate, "kv" | "exec" | "obs" | "core"),
+            Rule::PubDoc => matches!(krate, "geo" | "index" | "core"),
+            Rule::NoPrint => krate != "bench",
+            Rule::PanicSurface => matches!(krate, "kv" | "core" | "index" | "exec" | "obs"),
+            // Cross-file rules scope themselves (they are not line rules).
+            Rule::LockOrder => matches!(krate, "kv" | "exec" | "obs" | "core"),
+            Rule::Drift => krate != "lint",
+        }
+    }
+}
+
+/// Lints one file's source, returning its (unsuppressed) per-file findings.
+pub fn lint_file(file: &PreparedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let info = &file.info;
+    let prep = &file.prep;
+    let in_scope =
+        |rule: Rule| -> bool { rule.applies_to(&info.krate) && !info.is_bin && !info.is_test_file };
+
+    if in_scope(Rule::Unwrap)
+        || in_scope(Rule::Cast)
+        || in_scope(Rule::FloatEq)
+        || in_scope(Rule::NoPrint)
+        || in_scope(Rule::PanicSurface)
+    {
+        tokens::check(info, prep, &in_scope, &mut out);
+    }
+    if in_scope(Rule::PubDoc) {
+        pub_doc::check(info, prep, &mut out);
+    }
+    if in_scope(Rule::LockAcrossIo) {
+        lock_io::check(info, prep, &mut out);
+    }
+    out
+}
+
+/// Runs the cross-file analyses over the prepared workspace. `docs` carries
+/// the non-Rust text the drift analysis cross-references (README, DESIGN,
+/// CI workflows).
+pub fn lint_cross_file(files: &[PreparedFile], docs: &drift::DocSet) -> Vec<Diagnostic> {
+    let mut out = lock_order::check(files);
+    out.extend(drift::check(files, docs));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn new_rules_scope_to_the_concurrent_crates() {
+        for krate in ["kv", "exec", "obs", "core"] {
+            assert!(Rule::LockOrder.applies_to(krate), "{krate}");
+            assert!(Rule::LockAcrossIo.applies_to(krate), "{krate}");
+        }
+        assert!(!Rule::LockOrder.applies_to("geo"));
+        assert!(Rule::PanicSurface.applies_to("kv"));
+        assert!(!Rule::PanicSurface.applies_to("traj"));
+        assert!(!Rule::Drift.applies_to("lint"));
+    }
+}

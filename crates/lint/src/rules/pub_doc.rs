@@ -1,0 +1,84 @@
+//! `pub-doc`: every `pub fn` (not `pub(crate)`) must carry a doc comment.
+
+use super::Rule;
+use crate::report::Diagnostic;
+use crate::scanner::{FileInfo, Prepared};
+
+/// Checks the file, looking upward past attributes for a doc comment.
+pub fn check(info: &FileInfo, prep: &Prepared, out: &mut Vec<Diagnostic>) {
+    for (idx, masked) in prep.masked_lines.iter().enumerate() {
+        let line = idx + 1;
+        let t = masked.trim_start();
+        let is_pub_fn = ["pub fn ", "pub const fn ", "pub unsafe fn ", "pub async fn "]
+            .iter()
+            .any(|p| t.starts_with(p));
+        if !is_pub_fn || prep.is_test_line(line) || prep.is_allowed(line, Rule::PubDoc) {
+            continue;
+        }
+        // Walk upward over attributes and blank lines to the nearest
+        // non-attribute line; it must be a doc comment.
+        let mut j = idx;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let up = prep.masked_lines[j].trim();
+            if prep.doc_lines.contains(&(j + 1)) {
+                documented = true;
+                break;
+            }
+            // Skip attribute lines (masked comments are blank).
+            if up.is_empty() || up.starts_with("#[") || up.starts_with("#![") || up.ends_with(")]")
+            {
+                continue;
+            }
+            break;
+        }
+        if !documented {
+            let name = fn_name(t).unwrap_or("function");
+            out.push(Diagnostic {
+                path: info.rel_path.clone(),
+                line,
+                rule: Rule::PubDoc,
+                message: format!("public function `{name}` has no doc comment"),
+            });
+        }
+    }
+}
+
+fn fn_name(decl: &str) -> Option<&str> {
+    let after = decl.split("fn ").nth(1)?;
+    let end = after.find(|c: char| !c.is_ascii_alphanumeric() && c != '_')?;
+    Some(&after[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_file, Rule};
+    use crate::scanner::{FileInfo, PreparedFile};
+
+    fn info_for(krate: &str) -> FileInfo {
+        FileInfo {
+            rel_path: format!("crates/{krate}/src/fixture.rs"),
+            krate: krate.into(),
+            is_bin: false,
+            is_test_file: false,
+        }
+    }
+
+    fn rules_fired(info: &FileInfo, src: &str) -> Vec<(usize, Rule)> {
+        lint_file(&PreparedFile::new(info.clone(), src))
+            .into_iter()
+            .map(|d| (d.line, d.rule))
+            .collect()
+    }
+
+    #[test]
+    fn pub_doc_rule_fires_without_doc_and_passes_with() {
+        let undocumented = "pub fn lonely() {}\n";
+        assert_eq!(rules_fired(&info_for("geo"), undocumented), vec![(1, Rule::PubDoc)]);
+        let documented = "/// Does the thing.\n#[inline]\npub fn fine() {}\n";
+        assert!(rules_fired(&info_for("geo"), documented).is_empty());
+        let crate_private = "pub(crate) fn hidden() {}\n";
+        assert!(rules_fired(&info_for("geo"), crate_private).is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-line token rules: `unwrap`, `cast`, `float-eq`, `no-print`, and the
+//! line-local parts of `panic-surface`.
+
+use super::{panic_surface, Rule};
+use crate::report::Diagnostic;
+use crate::scanner::{FileInfo, Prepared};
+
+/// Runs every line rule that is in scope (per `in_scope`) over the file.
+pub fn check(
+    info: &FileInfo,
+    prep: &Prepared,
+    in_scope: &dyn Fn(Rule) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut push = |line: usize, rule: Rule, message: String| {
+        if !prep.is_test_line(line) && !prep.is_allowed(line, rule) {
+            out.push(Diagnostic { path: info.rel_path.clone(), line, rule, message });
+        }
+    };
+
+    for (idx, masked) in prep.masked_lines.iter().enumerate() {
+        let line = idx + 1;
+        if in_scope(Rule::Unwrap) {
+            if masked.contains(".unwrap()") {
+                push(
+                    line,
+                    Rule::Unwrap,
+                    "`.unwrap()` in library code; propagate a typed error instead".into(),
+                );
+            }
+            if panicking_expect(masked) {
+                push(
+                    line,
+                    Rule::Unwrap,
+                    "`.expect(...)` in library code; propagate a typed error instead".into(),
+                );
+            }
+        }
+        if in_scope(Rule::Cast) {
+            if let Some(ty) = numeric_cast(masked) {
+                push(
+                    line,
+                    Rule::Cast,
+                    format!("bare `as {ty}` cast; use From/TryFrom or justify with an allow"),
+                );
+            }
+        }
+        if in_scope(Rule::FloatEq) {
+            if let Some(op) = float_literal_eq(masked) {
+                push(
+                    line,
+                    Rule::FloatEq,
+                    format!("`{op}` against a float literal; compare with a tolerance"),
+                );
+            }
+        }
+        if in_scope(Rule::NoPrint) && (masked.contains("println!") || masked.contains("eprintln!"))
+        {
+            push(
+                line,
+                Rule::NoPrint,
+                "`println!`/`eprintln!` in library code; use the obs registry or return data"
+                    .into(),
+            );
+        }
+        if in_scope(Rule::PanicSurface) {
+            for message in panic_surface::check_line(masked) {
+                push(line, Rule::PanicSurface, message);
+            }
+        }
+    }
+}
+
+/// Detects `Option::expect`/`Result::expect` calls — `.expect(` whose
+/// argument is a string message. After masking, a string-literal message
+/// leaves only spaces between the parens, and `format!` messages keep the
+/// macro name; anything else (e.g. a parser's own `self.expect(b'{')`
+/// taking a byte) is a user method, not a panic site.
+fn panicking_expect(masked: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = masked[from..].find(".expect(") {
+        let at = from + off;
+        let arg_start = at + ".expect(".len();
+        if masked[at..].starts_with(".expect_err(") {
+            from = arg_start;
+            continue;
+        }
+        // Argument region: up to the matching `)` on this line, or the
+        // line's end for multi-line messages.
+        let bytes = masked.as_bytes();
+        let mut depth = 1usize;
+        let mut end = arg_start;
+        while end < bytes.len() && depth > 0 {
+            match bytes[end] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            if depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        let arg = &masked[arg_start..end];
+        if arg.trim().is_empty() || arg.contains("format!") {
+            return true;
+        }
+        from = arg_start;
+    }
+    false
+}
+
+/// Numeric types a bare `as` cast can silently truncate or round to.
+const NUMERIC_TYPES: [&str; 13] =
+    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32"];
+// `f64` is handled with the list above; kept separate only to document that
+// int→f64 widening can still lose precision past 2^53.
+
+/// Returns the target type of the first bare numeric `as` cast on the line.
+fn numeric_cast(masked: &str) -> Option<&'static str> {
+    let mut words = Vec::new();
+    let mut start = None;
+    for (i, c) in masked.char_indices() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            words.push(&masked[s..i]);
+        }
+    }
+    if let Some(s) = start {
+        words.push(&masked[s..]);
+    }
+    for pair in words.windows(2) {
+        if pair[0] == "as" {
+            if let Some(ty) = NUMERIC_TYPES.iter().find(|t| **t == pair[1]) {
+                return Some(ty);
+            }
+            if pair[1] == "f64" {
+                return Some("f64");
+            }
+        }
+    }
+    None
+}
+
+/// Detects `==` / `!=` with a float literal on either side.
+fn float_literal_eq(masked: &str) -> Option<&'static str> {
+    let bytes = masked.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let op = match (bytes[i], bytes[i + 1]) {
+            (b'=', b'=') => "==",
+            (b'!', b'=') => "!=",
+            _ => continue,
+        };
+        // Skip `<=`, `>=`, `===`-like runs and pattern arms `=>`.
+        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') || bytes.get(i + 2) == Some(&b'>') {
+            continue;
+        }
+        let before = masked[..i].trim_end();
+        let after = masked[i + 2..].trim_start();
+        if ends_with_float_literal(before) || starts_with_float_literal(after) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let digits = s.len() - s.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    digits > 0 && s[digits..].starts_with('.')
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    // Accept `1.0`, `0.5`, `1e-9` style tails preceded by a `.digits` part.
+    let tail = s.trim_end_matches(|c: char| c.is_ascii_digit() || c == '_' || c == 'e' || c == '-');
+    if tail.len() == s.len() {
+        return false;
+    }
+    tail.ends_with('.') && tail[..tail.len() - 1].ends_with(|c: char| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_file, Rule};
+    use crate::scanner::{FileInfo, PreparedFile};
+
+    fn kv_lib() -> FileInfo {
+        FileInfo {
+            rel_path: "crates/kv/src/fixture.rs".into(),
+            krate: "kv".into(),
+            is_bin: false,
+            is_test_file: false,
+        }
+    }
+
+    fn info_for(krate: &str) -> FileInfo {
+        FileInfo {
+            rel_path: format!("crates/{krate}/src/fixture.rs"),
+            krate: krate.into(),
+            is_bin: false,
+            is_test_file: false,
+        }
+    }
+
+    fn rules_fired(info: &FileInfo, src: &str) -> Vec<(usize, Rule)> {
+        lint_file(&PreparedFile::new(info.clone(), src))
+            .into_iter()
+            .map(|d| (d.line, d.rule))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_rule_fires_with_file_and_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lint_file(&PreparedFile::new(kv_lib(), src));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[0].rule, Rule::Unwrap);
+        assert_eq!(diags[0].path, "crates/kv/src/fixture.rs");
+    }
+
+    #[test]
+    fn expect_fires_but_expect_err_does_not() {
+        let src = "fn f(x: Result<u8, u8>) -> u8 {\n    x.expect(\"boom\")\n}\n\
+                   fn g(x: Result<u8, u8>) -> u8 {\n    x.expect_err(\"fine\")\n}\n";
+        assert_eq!(rules_fired(&kv_lib(), src), vec![(2, Rule::Unwrap)]);
+    }
+
+    #[test]
+    fn user_expect_method_with_non_string_arg_does_not_fire() {
+        // A hand-rolled parser's `self.expect(b'{') -> Result<...>` is not
+        // `Option::expect`; only string-message expects are panic sites.
+        let src = "fn f(p: &mut P) -> Result<(), String> {\n    p.expect(b'{')?;\n    \
+                   p.expect(delim)\n}\n";
+        assert!(rules_fired(&kv_lib(), src).is_empty());
+        let format_msg =
+            "fn f(x: Option<u8>, i: usize) -> u8 {\n    x.expect(&format!(\"no {i}\"))\n}\n";
+        assert_eq!(rules_fired(&kv_lib(), format_msg), vec![(2, Rule::Unwrap)]);
+    }
+
+    #[test]
+    fn unwrap_rule_now_covers_exec_and_obs() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        assert_eq!(rules_fired(&info_for("exec"), src), vec![(2, Rule::Unwrap)]);
+        assert_eq!(rules_fired(&info_for("obs"), src), vec![(2, Rule::Unwrap)]);
+        assert!(rules_fired(&info_for("geo"), src).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_fires_in_index_not_in_kv() {
+        let src = "fn f(x: u64) -> u32 {\n    x as u32\n}\n";
+        assert_eq!(rules_fired(&info_for("index"), src), vec![(2, Rule::Cast)]);
+        assert!(rules_fired(&kv_lib(), src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_rule_fires_on_literal_comparison() {
+        let src =
+            "fn f(d: f64) -> bool {\n    d == 0.0\n}\nfn g(a: u32, b: u32) -> bool {\n    a == b\n}\n";
+        assert_eq!(rules_fired(&info_for("geo"), src), vec![(2, Rule::FloatEq)]);
+    }
+
+    #[test]
+    fn float_eq_ignores_match_arms_and_orderings() {
+        let src = "fn f(d: f64) -> u8 {\n    if d <= 1.0 { 0 } else { 1 }\n}\n";
+        assert!(rules_fired(&info_for("geo"), src).is_empty());
+    }
+
+    #[test]
+    fn no_print_fires_in_lib_but_not_in_bench_or_bin() {
+        let src = "fn f() {\n    println!(\"hi\");\n}\n";
+        assert_eq!(rules_fired(&info_for("obs"), src), vec![(2, Rule::NoPrint)]);
+        assert!(rules_fired(&info_for("bench"), src).is_empty());
+        let bin = FileInfo {
+            rel_path: "crates/kv/src/bin/tool.rs".into(),
+            krate: "kv".into(),
+            is_bin: true,
+            is_test_file: false,
+        };
+        assert!(rules_fired(&bin, src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_line_and_next_line() {
+        let same = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // trass-lint: allow(unwrap)\n}\n";
+        assert!(rules_fired(&kv_lib(), same).is_empty());
+        let above = "fn f(x: Option<u8>) -> u8 {\n    // justified: trass-lint: allow(unwrap)\n    x.unwrap()\n}\n";
+        assert!(rules_fired(&kv_lib(), above).is_empty());
+        let wrong_rule =
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // trass-lint: allow(cast)\n}\n";
+        assert_eq!(rules_fired(&kv_lib(), wrong_rule), vec![(2, Rule::Unwrap)]);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   Some(1).unwrap();\n    }\n}\n";
+        assert!(rules_fired(&kv_lib(), src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "fn f() -> &'static str {\n    // calling .unwrap() here would be bad\n    \
+                   \"x as u32 == 0.0 .unwrap()\"\n}\n";
+        assert!(rules_fired(&kv_lib(), src).is_empty());
+        assert!(rules_fired(&info_for("index"), src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src =
+            "fn f() -> char {\n    let _s = r#\"x.unwrap()\"#;\n    let _t = 'a';\n    '\\n'\n}\n";
+        assert!(rules_fired(&kv_lib(), src).is_empty());
+    }
+
+    #[test]
+    fn doc_examples_inside_doc_comments_do_not_fire() {
+        let src = "/// Example:\n/// ```\n/// let x = Some(1).unwrap();\n/// ```\npub fn f() {}\n";
+        assert!(rules_fired(&kv_lib(), src).is_empty());
+    }
+}

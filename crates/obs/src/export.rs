@@ -261,13 +261,13 @@ mod tests {
         let r = Registry::new();
         r.counter("trass_kv_entries_scanned", &[("shard", "0")]).add(7);
         r.counter("trass_kv_entries_scanned", &[("shard", "1")]).add(3);
-        r.gauge("trass_kv_tables", &[]).set(4);
+        r.gauge("fixture_tables", &[]).set(4);
         let text = r.render_prometheus();
         assert!(text.contains("# TYPE trass_kv_entries_scanned counter"));
         assert!(text.contains("trass_kv_entries_scanned{shard=\"0\"} 7"));
         assert!(text.contains("trass_kv_entries_scanned{shard=\"1\"} 3"));
-        assert!(text.contains("# TYPE trass_kv_tables gauge"));
-        assert!(text.contains("trass_kv_tables 4"));
+        assert!(text.contains("# TYPE fixture_tables gauge"));
+        assert!(text.contains("fixture_tables 4"));
         // TYPE line appears once per family.
         assert_eq!(text.matches("# TYPE trass_kv_entries_scanned").count(), 1);
     }

@@ -68,6 +68,8 @@ impl Histogram {
     pub fn with_scale(scale: f64) -> Self {
         let buckets: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
         let buckets: Box<[AtomicU64; N_BUCKETS]> =
+            // the Vec was built with exactly N_BUCKETS elements just
+            // above: trass-lint: allow(unwrap)
             buckets.into_boxed_slice().try_into().expect("N_BUCKETS length");
         Histogram {
             buckets,
