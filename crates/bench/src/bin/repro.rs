@@ -20,6 +20,9 @@
 //!           collapsed-stack format under wall / alloc / cpu weights
 //!   workload per-fingerprint workload summary for the demo query mix
 //!   bench   CI perf-regression gate (flags: --quick --update-baseline)
+//!   loadtest concurrent-client load harness against a live trass-server
+//!           (flags: --quick --clients N --requests N); merges report-only
+//!           server_* keys into BENCH_ci.json
 //!   all     everything, in order
 //! ```
 //!
@@ -38,7 +41,7 @@ static ALLOC: trass_obs::CountingAlloc = trass_obs::CountingAlloc::system();
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: repro <fig9|fig10|fig11|fig12|fig13|fig14|fig17|fig18|fig19|fig20|io|ablation|obs|explain|profile|workload|bench|all>");
+        eprintln!("usage: repro <fig9|fig10|fig11|fig12|fig13|fig14|fig17|fig18|fig19|fig20|io|ablation|obs|explain|profile|workload|bench|loadtest|all>");
         std::process::exit(2);
     });
     match arg.as_str() {
@@ -53,6 +56,42 @@ fn main() {
             let quick = flags.iter().any(|f| f == "--quick");
             let update = flags.iter().any(|f| f == "--update-baseline");
             experiments::bench_gate::run(quick, update)
+        }
+        "loadtest" => {
+            let args: Vec<String> = std::env::args().skip(2).collect();
+            let mut quick = false;
+            let mut clients = 8usize;
+            let mut requests: Option<usize> = None;
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--quick" => {
+                        quick = true;
+                        i += 1;
+                    }
+                    "--clients" | "--requests" => {
+                        let value = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+                        let Some(v) = value.filter(|&v| v > 0) else {
+                            eprintln!(
+                                "usage: repro loadtest [--quick] [--clients N] [--requests N]"
+                            );
+                            std::process::exit(2);
+                        };
+                        if args[i] == "--clients" {
+                            clients = v;
+                        } else {
+                            requests = Some(v);
+                        }
+                        i += 2;
+                    }
+                    _ => {
+                        eprintln!("usage: repro loadtest [--quick] [--clients N] [--requests N]");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            let requests = requests.unwrap_or(if quick { 25 } else { 200 });
+            experiments::loadtest::run(quick, clients, requests)
         }
         "fig9" => experiments::fig09_threshold::run(),
         "fig10" => experiments::fig10_topk::run(),

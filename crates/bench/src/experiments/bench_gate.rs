@@ -117,11 +117,13 @@ pub fn run(quick: bool, update_baseline: bool) {
     }
 
     let cores = host_cores();
-    for w in refresh_warnings(&results, cores) {
+    let warnings = refresh_warnings(&results, cores);
+    for w in &warnings {
         eprintln!("warning: {w}");
     }
     let mode = if quick { "quick" } else { "full" };
-    std::fs::write(OUTPUT_PATH, render_report(&results, mode, cores)).expect("write BENCH_ci.json");
+    std::fs::write(OUTPUT_PATH, render_report(&results, mode, cores, &warnings))
+        .expect("write BENCH_ci.json");
     println!("wrote {OUTPUT_PATH}");
 
     if update_baseline {
@@ -273,13 +275,46 @@ fn host_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
 }
 
-/// Renders `BENCH_ci.json`.
-fn render_report(results: &[GateResult], mode: &str, host_cores: usize) -> String {
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `BENCH_ci.json`. The caveats from [`refresh_warnings`] ride
+/// along as a `warnings` array so CI artifact consumers see them without
+/// digging through job logs.
+fn render_report(
+    results: &[GateResult],
+    mode: &str,
+    host_cores: usize,
+    warnings: &[String],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"threads\": {GATE_THREADS},\n"));
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str("  \"warnings\": [");
+    for (i, w) in warnings.iter().enumerate() {
+        out.push_str(&format!(
+            "\n    \"{}\"{}",
+            json_escape(w),
+            if i + 1 < warnings.len() { "," } else { "\n  " }
+        ));
+    }
+    out.push_str("],\n");
     out.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -476,12 +511,13 @@ mod tests {
     #[test]
     fn report_contains_every_field_the_gate_documents() {
         let results = vec![result("threshold", 1.5, 4.5), result("topk", 8.0, 12.0)];
-        let report = render_report(&results, "quick", 6);
+        let report = render_report(&results, "quick", 6, &[]);
         for needle in [
             "\"schema\": 1",
             "\"mode\": \"quick\"",
             "\"threads\": 4",
             "\"host_cores\": 6",
+            "\"warnings\": []",
             "\"refine_p50_ms\": 0.7500",
             "\"speedup\": 3.000",
         ] {
@@ -492,5 +528,26 @@ mod tests {
         let parsed = parse_flat_numbers(&report);
         assert!(parsed.iter().any(|(k, _)| k == "p50_ms"));
         assert!(parsed.iter().any(|(k, v)| k == "host_cores" && *v == 6.0));
+    }
+
+    #[test]
+    fn report_carries_refresh_warnings_escaped() {
+        let results = vec![result("threshold", 2.0, 1.2)];
+        let warnings = vec!["narrow \"host\"".to_string(), "line\nbreak".to_string()];
+        let report = render_report(&results, "quick", 1, &warnings);
+        assert!(report.contains("\"warnings\": ["), "{report}");
+        assert!(report.contains("narrow \\\"host\\\""), "{report}");
+        assert!(report.contains("line\\nbreak"), "{report}");
+        // Escaped strings must not break the flat scanner's numbers.
+        let parsed = parse_flat_numbers(&report);
+        assert!(parsed.iter().any(|(k, v)| k == "host_cores" && *v == 1.0));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

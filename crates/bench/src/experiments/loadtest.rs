@@ -1,0 +1,322 @@
+//! `repro loadtest` — concurrent-client load harness for the network
+//! front-end.
+//!
+//! Builds an in-memory store, starts an in-process [`TrassServer`], and
+//! hammers it from N concurrent client connections with a pinned mix of
+//! threshold / top-k / range queries. Every wire response is checked
+//! byte-identical (`f64::to_bits`) against embedded execution computed
+//! up front — a result mismatch fails the run. Latencies land in one
+//! shared [`Histogram`]; the report prints throughput and p50/p99/p999
+//! and merges `server_*` keys into `BENCH_ci.json` as **report-only**
+//! values (never gated: wire latency on a shared CI core says nothing
+//! stable enough to gate on).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use trass_core::config::TrassConfig;
+use trass_core::query;
+use trass_core::store::TrajectoryStore;
+use trass_obs::Histogram;
+use trass_server::protocol::QueryRef;
+use trass_server::{ServerOptions, TrassClient, TrassServer};
+use trass_traj::{Measure, Trajectory};
+
+use super::bench_gate::json_escape;
+
+const SEED: u64 = 4242;
+const EPS: f64 = 0.01;
+const K: u32 = 10;
+const OUTPUT_PATH: &str = "BENCH_ci.json";
+
+/// One precomputed request with its embedded ground truth.
+enum Case {
+    Threshold { query: Trajectory, expected: Vec<(u64, f64)> },
+    TopK { query: Trajectory, expected: Vec<(u64, f64)> },
+    Range { window: [f64; 4], expected: Vec<(u64, f64)> },
+}
+
+impl Case {
+    fn kind(&self) -> &'static str {
+        match self {
+            Case::Threshold { .. } => "threshold",
+            Case::TopK { .. } => "topk",
+            Case::Range { .. } => "range",
+        }
+    }
+}
+
+/// Entry point for `repro loadtest`.
+pub fn run(quick: bool, clients: usize, requests_per_client: usize) {
+    let n = if quick { 600 } else { 2_400 };
+    let n_queries = if quick { 8 } else { 24 };
+    println!(
+        "server loadtest: {n} trajectories, {n_queries} query mix, {clients} clients × \
+         {requests_per_client} requests{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let store = build_store(n);
+    let cases = build_cases(&store, n_queries);
+    println!("  {} cases precomputed against embedded execution", cases.len());
+
+    let server = TrassServer::serve(
+        Arc::clone(&store),
+        ServerOptions { addr: "127.0.0.1:0".to_string(), ..ServerOptions::default() },
+    )
+    .expect("bind loadtest server");
+    let addr = server.local_addr();
+
+    let latencies = Arc::new(Histogram::new());
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let cases = &cases;
+            let latencies = Arc::clone(&latencies);
+            let mismatches = Arc::clone(&mismatches);
+            s.spawn(move || {
+                let mut client = TrassClient::connect(addr).expect("connect loadtest client");
+                for j in 0..requests_per_client {
+                    // Interleave so concurrent connections run different
+                    // ops against the shared store at the same time.
+                    let case = &cases[(c + j * clients) % cases.len()];
+                    let t0 = Instant::now();
+                    let got = match case {
+                        Case::Threshold { query, .. } => client
+                            .threshold(QueryRef::Inline(query.clone()), EPS, Measure::Frechet)
+                            .expect("wire threshold"),
+                        Case::TopK { query, .. } => client
+                            .top_k(QueryRef::Inline(query.clone()), K, Measure::Frechet)
+                            .expect("wire topk"),
+                        Case::Range { window, .. } => client.range(*window).expect("wire range"),
+                    };
+                    latencies.record_duration(t0.elapsed());
+                    let expected = match case {
+                        Case::Threshold { expected, .. }
+                        | Case::TopK { expected, .. }
+                        | Case::Range { expected, .. } => expected,
+                    };
+                    if !bit_identical(&got, expected) {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "MISMATCH: client {c} request {j} ({}) diverged from embedded \
+                             execution",
+                            case.kind()
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    // Graceful shutdown through the wire, mirroring a real deployment.
+    let mut closer = TrassClient::connect(addr).expect("connect for shutdown");
+    closer.shutdown_server().expect("wire shutdown");
+    let mut server = server;
+    server.wait();
+    server.shutdown();
+
+    let total = clients * requests_per_client;
+    let qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let p = latencies.percentiles();
+    let (p50_ms, p99_ms, p999_ms) = (p.p50 as f64 / 1e6, p.p99 as f64 / 1e6, p.p999 as f64 / 1e6);
+    println!(
+        "  {total} requests in {:.2?}: {qps:.0} req/s, p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms, \
+         p999 {p999_ms:.3} ms",
+        elapsed
+    );
+
+    let warnings = loadtest_warnings(host_cores(), clients);
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+
+    let bad = mismatches.load(Ordering::Relaxed);
+    if bad > 0 {
+        eprintln!("server loadtest: FAILED — {bad} response(s) diverged from embedded execution");
+        std::process::exit(1);
+    }
+    println!("server loadtest: all {total} responses byte-identical to embedded execution");
+
+    let extra = render_server_keys(clients, total, qps, p50_ms, p99_ms, p999_ms, &warnings);
+    let existing = std::fs::read_to_string(OUTPUT_PATH).unwrap_or_default();
+    std::fs::write(OUTPUT_PATH, merged_report(&existing, &extra)).expect("write BENCH_ci.json");
+    println!("merged server_* keys into {OUTPUT_PATH} (report-only, not gated)");
+}
+
+fn build_store(n: usize) -> Arc<TrajectoryStore> {
+    let cfg = TrassConfig { max_resolution: 12, trace_sample_every: 0, ..TrassConfig::default() };
+    let store = TrajectoryStore::open(cfg).expect("valid config");
+    let data = trass_traj::generator::tdrive_like(SEED, n);
+    store.insert_all(&data).expect("insert");
+    store.flush().expect("flush");
+    Arc::new(store)
+}
+
+fn build_cases(store: &TrajectoryStore, n_queries: usize) -> Vec<Case> {
+    let data = trass_traj::generator::tdrive_like(SEED, 200);
+    let queries = trass_traj::generator::sample_queries(&data, n_queries, SEED + 1);
+    let mut cases = Vec::with_capacity(queries.len() * 3);
+    for q in queries {
+        let expected =
+            query::threshold_search(store, &q, EPS, Measure::Frechet).expect("embedded").results;
+        cases.push(Case::Threshold { query: q.clone(), expected });
+        let expected =
+            query::top_k_search(store, &q, K as usize, Measure::Frechet).expect("embedded").results;
+        cases.push(Case::TopK { query: q.clone(), expected });
+        let m = q.mbr().extended(0.02);
+        let window = [m.min_x, m.min_y, m.max_x, m.max_y];
+        let expected = query::range_search(store, &trass_server::protocol::window_mbr(&window))
+            .expect("embedded")
+            .results;
+        cases.push(Case::Range { window, expected });
+    }
+    cases
+}
+
+fn bit_identical(got: &[(u64, f64)], expected: &[(u64, f64)]) -> bool {
+    got.len() == expected.len()
+        && got
+            .iter()
+            .zip(expected)
+            .all(|((gt, gd), (et, ed))| gt == et && gd.to_bits() == ed.to_bits())
+}
+
+/// Caveats mirroring the bench gate's: throughput numbers from a host
+/// narrower than the client count measure queueing, not the server.
+fn loadtest_warnings(host_cores: usize, clients: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    if host_cores > 0 && host_cores < clients {
+        out.push(format!(
+            "host has {host_cores} core(s) for {clients} concurrent clients plus the server: \
+             throughput and tail latencies measure oversubscription, not server capacity"
+        ));
+    }
+    out
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+}
+
+/// Renders the `server_*` lines merged into `BENCH_ci.json` (no braces,
+/// no trailing newline).
+#[allow(clippy::too_many_arguments)]
+fn render_server_keys(
+    clients: usize,
+    total: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    warnings: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  \"server_clients\": {clients},\n"));
+    out.push_str(&format!("  \"server_requests_total\": {total},\n"));
+    out.push_str(&format!("  \"server_throughput_qps\": {qps:.1},\n"));
+    out.push_str(&format!("  \"server_p50_ms\": {p50_ms:.4},\n"));
+    out.push_str(&format!("  \"server_p99_ms\": {p99_ms:.4},\n"));
+    out.push_str(&format!("  \"server_p999_ms\": {p999_ms:.4},\n"));
+    out.push_str("  \"server_warnings\": [");
+    for (i, w) in warnings.iter().enumerate() {
+        out.push_str(&format!(
+            "\n    \"{}\"{}",
+            json_escape(w),
+            if i + 1 < warnings.len() { "," } else { "\n  " }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Splices `extra` key lines into an existing flat-ish JSON report. Any
+/// previous `server_*` block (everything from the `"server_clients"` key
+/// on) is dropped first so reruns stay idempotent; an empty or missing
+/// report becomes a fresh object holding only the server keys.
+fn merged_report(existing: &str, extra: &str) -> String {
+    let trimmed = existing.trim();
+    let body = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
+    // Drop a previous loadtest's block (always appended last).
+    let body = match body.find("\"server_clients\"") {
+        Some(at) => body[..at].trim_end().trim_end_matches(','),
+        None => body,
+    };
+    let body = match body.strip_prefix('{') {
+        // Keep the first key's indentation: only shed the newline after `{`.
+        Some(rest) => rest.trim_start_matches(['\n', '\r']),
+        None => body,
+    };
+    if body.is_empty() {
+        return format!("{{\n{extra}\n}}\n");
+    }
+    format!("{{\n{},\n{extra}\n}}\n", body.trim_end().trim_end_matches(','))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_report_appends_to_a_bench_report() {
+        let existing = "{\n  \"schema\": 1,\n  \"host_cores\": 4\n}\n";
+        let merged = merged_report(existing, "  \"server_clients\": 8");
+        assert!(merged.contains("\"schema\": 1"), "{merged}");
+        assert!(merged.contains("\"host_cores\": 4,"), "{merged}");
+        assert!(merged.ends_with("  \"server_clients\": 8\n}\n"), "{merged}");
+    }
+
+    #[test]
+    fn merged_report_replaces_a_previous_server_block() {
+        let existing =
+            "{\n  \"schema\": 1,\n  \"server_clients\": 4,\n  \"server_p99_ms\": 1.0\n}\n";
+        let merged = merged_report(existing, "  \"server_clients\": 8");
+        assert_eq!(merged.matches("server_clients").count(), 1, "{merged}");
+        assert!(!merged.contains("server_p99_ms"), "{merged}");
+        assert!(merged.contains("\"schema\": 1"), "{merged}");
+    }
+
+    #[test]
+    fn merged_report_handles_missing_and_empty_reports() {
+        for existing in ["", "{}", "{\n}\n"] {
+            let merged = merged_report(existing, "  \"server_clients\": 8");
+            assert_eq!(merged, "{\n  \"server_clients\": 8\n}\n", "from {existing:?}");
+        }
+    }
+
+    #[test]
+    fn server_keys_render_flat_and_escaped() {
+        let keys = render_server_keys(
+            8,
+            200,
+            123.45,
+            1.5,
+            9.0,
+            20.0,
+            &["a \"quoted\" warning".to_string()],
+        );
+        for needle in [
+            "\"server_clients\": 8",
+            "\"server_requests_total\": 200",
+            "\"server_throughput_qps\": 123.5",
+            "\"server_p50_ms\": 1.5000",
+            "\"server_p99_ms\": 9.0000",
+            "\"server_p999_ms\": 20.0000",
+            "a \\\"quoted\\\" warning",
+        ] {
+            assert!(keys.contains(needle), "missing {needle} in {keys}");
+        }
+        // And the whole thing survives a merge as parseable flat numbers.
+        let merged = merged_report("{\n  \"schema\": 1\n}\n", &keys);
+        assert!(merged.contains("\"server_warnings\": ["), "{merged}");
+    }
+
+    #[test]
+    fn loadtest_warnings_fire_only_when_narrow() {
+        assert!(!loadtest_warnings(2, 8).is_empty());
+        assert!(loadtest_warnings(16, 8).is_empty());
+        assert!(loadtest_warnings(0, 8).is_empty());
+    }
+}

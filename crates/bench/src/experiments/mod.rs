@@ -15,6 +15,7 @@ pub mod fig18_tail_latency;
 pub mod fig19_shards;
 pub mod fig20_measures;
 pub mod io_reduction;
+pub mod loadtest;
 pub mod obs_demo;
 
 /// Runs every experiment in figure order.

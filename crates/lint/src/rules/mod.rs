@@ -81,15 +81,17 @@ impl Rule {
     /// Does this rule apply to library (non-bin, non-test) code of `krate`?
     pub fn applies_to(self, krate: &str) -> bool {
         match self {
-            Rule::Unwrap => matches!(krate, "kv" | "core" | "index" | "exec" | "obs"),
+            Rule::Unwrap => matches!(krate, "kv" | "core" | "index" | "exec" | "obs" | "server"),
             Rule::Cast => matches!(krate, "index" | "geo"),
             Rule::FloatEq => matches!(krate, "geo" | "traj"),
-            Rule::LockAcrossIo => matches!(krate, "kv" | "exec" | "obs" | "core"),
+            Rule::LockAcrossIo => matches!(krate, "kv" | "exec" | "obs" | "core" | "server"),
             Rule::PubDoc => matches!(krate, "geo" | "index" | "core"),
             Rule::NoPrint => krate != "bench",
-            Rule::PanicSurface => matches!(krate, "kv" | "core" | "index" | "exec" | "obs"),
+            Rule::PanicSurface => {
+                matches!(krate, "kv" | "core" | "index" | "exec" | "obs" | "server")
+            }
             // Cross-file rules scope themselves (they are not line rules).
-            Rule::LockOrder => matches!(krate, "kv" | "exec" | "obs" | "core"),
+            Rule::LockOrder => matches!(krate, "kv" | "exec" | "obs" | "core" | "server"),
             Rule::Drift => krate != "lint",
         }
     }
@@ -143,12 +145,14 @@ mod tests {
 
     #[test]
     fn new_rules_scope_to_the_concurrent_crates() {
-        for krate in ["kv", "exec", "obs", "core"] {
+        for krate in ["kv", "exec", "obs", "core", "server"] {
             assert!(Rule::LockOrder.applies_to(krate), "{krate}");
             assert!(Rule::LockAcrossIo.applies_to(krate), "{krate}");
         }
         assert!(!Rule::LockOrder.applies_to("geo"));
         assert!(Rule::PanicSurface.applies_to("kv"));
+        assert!(Rule::PanicSurface.applies_to("server"));
+        assert!(Rule::Unwrap.applies_to("server"));
         assert!(!Rule::PanicSurface.applies_to("traj"));
         assert!(!Rule::Drift.applies_to("lint"));
     }

@@ -1,0 +1,280 @@
+//! End-to-end tests: a live in-process server over a seeded store, with
+//! every wire result asserted byte-identical (`f64::to_bits`) to
+//! embedded execution, concurrent clients, malformed-frame robustness,
+//! and graceful shutdown.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use trass_core::config::TrassConfig;
+use trass_core::query;
+use trass_core::store::TrajectoryStore;
+use trass_server::protocol::{self, ErrorCode, Op, QueryRef, Request};
+use trass_server::{ClientError, ServerOptions, TrassClient, TrassServer};
+use trass_traj::{generator, Measure, Trajectory};
+
+const SEED: u64 = 4242;
+const EPS: f64 = 0.01;
+const K: u32 = 10;
+
+fn build_store(n: usize) -> Arc<TrajectoryStore> {
+    let cfg = TrassConfig { max_resolution: 12, trace_sample_every: 0, ..TrassConfig::default() };
+    let store = TrajectoryStore::open(cfg).expect("valid config");
+    let data = generator::tdrive_like(SEED, n);
+    store.insert_all(&data).expect("insert");
+    store.flush().expect("flush");
+    Arc::new(store)
+}
+
+fn start(store: &Arc<TrajectoryStore>) -> TrassServer {
+    let opts = ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+    };
+    TrassServer::serve(Arc::clone(store), opts).expect("bind")
+}
+
+fn queries(n: usize) -> Vec<Trajectory> {
+    let data = generator::tdrive_like(SEED, 200);
+    generator::sample_queries(&data, n, SEED + 1)
+}
+
+/// Asserts two result sets are byte-identical: same order, same tids,
+/// same IEEE-754 bit patterns.
+fn assert_bit_identical(wire: &[(u64, f64)], embedded: &[(u64, f64)], what: &str) {
+    assert_eq!(wire.len(), embedded.len(), "{what}: result count");
+    for (i, ((wt, wd), (et, ed))) in wire.iter().zip(embedded).enumerate() {
+        assert_eq!(wt, et, "{what}[{i}]: tid");
+        assert_eq!(wd.to_bits(), ed.to_bits(), "{what}[{i}]: distance bits");
+    }
+}
+
+#[test]
+fn wire_results_are_byte_identical_to_embedded() {
+    let store = build_store(200);
+    let server = start(&store);
+    let mut client = TrassClient::connect(server.local_addr()).expect("connect");
+
+    for q in queries(4) {
+        let embedded =
+            query::threshold_search(&store, &q, EPS, Measure::Frechet).expect("embedded");
+        let wire = client
+            .threshold(QueryRef::Inline(q.clone()), EPS, Measure::Frechet)
+            .expect("wire threshold");
+        assert_bit_identical(&wire, &embedded.results, "threshold");
+
+        let embedded =
+            query::top_k_search(&store, &q, K as usize, Measure::Frechet).expect("embedded topk");
+        let wire =
+            client.top_k(QueryRef::Inline(q.clone()), K, Measure::Frechet).expect("wire topk");
+        assert_bit_identical(&wire, &embedded.results, "topk");
+
+        let m = q.mbr().extended(0.02);
+        let window = [m.min_x, m.min_y, m.max_x, m.max_y];
+        let embedded =
+            query::range_search(&store, &protocol::window_mbr(&window)).expect("embedded range");
+        let wire = client.range(window).expect("wire range");
+        assert_bit_identical(&wire, &embedded.results, "range");
+
+        // Explain returns the same result set plus a non-empty trace.
+        let (wire_results, trace) = client
+            .explain(Request::Threshold {
+                query: QueryRef::Inline(q.clone()),
+                eps: EPS,
+                measure: Measure::Frechet,
+            })
+            .expect("wire explain");
+        let embedded =
+            query::threshold_search(&store, &q, EPS, Measure::Frechet).expect("embedded");
+        assert_bit_identical(&wire_results, &embedded.results, "explain");
+        assert!(!trace.is_empty(), "explain trace should render");
+    }
+}
+
+#[test]
+fn stored_query_refs_resolve_against_the_store() {
+    let store = build_store(100);
+    let server = start(&store);
+    let mut client = TrassClient::connect(server.local_addr()).expect("connect");
+
+    let tid = 1u64;
+    let q = store.get(tid).expect("store read").expect("trajectory 1 exists");
+    let embedded = query::threshold_search(&store, &q, EPS, Measure::Frechet).expect("embedded");
+    let wire = client.threshold(QueryRef::Stored(tid), EPS, Measure::Frechet).expect("wire stored");
+    assert_bit_identical(&wire, &embedded.results, "stored threshold");
+
+    // A missing tid is an in-protocol not-found, not a dead connection.
+    match client.threshold(QueryRef::Stored(u64::MAX), EPS, Measure::Frechet) {
+        Err(ClientError::Server { code: ErrorCode::NotFound, .. }) => {}
+        other => panic!("expected not-found, got {other:?}"),
+    }
+    // And the connection still works afterwards.
+    assert!(client.health().expect("health after error").contains("status: ok"));
+}
+
+#[test]
+fn ingest_over_the_wire_lands_in_the_store() {
+    let store = build_store(50);
+    let server = start(&store);
+    let mut client = TrassClient::connect(server.local_addr()).expect("connect");
+
+    let fresh = generator::tdrive_like(SEED + 99, 3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Trajectory::try_new(900_000 + i as u64, t.points().to_vec()).expect("valid"))
+        .collect::<Vec<_>>();
+    let n = client.ingest(fresh.clone()).expect("wire ingest");
+    assert_eq!(n, 3);
+    for t in &fresh {
+        let got = store.get(t.id).expect("store read").expect("ingested trajectory");
+        assert_eq!(got.len(), t.len(), "trajectory {} round-trips", t.id);
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_all_see_identical_results() {
+    let store = build_store(200);
+    let server = start(&store);
+    let addr = server.local_addr();
+
+    let qs = queries(4);
+    // Precompute the embedded truth once; every client must match it.
+    let expected: Vec<Vec<(u64, f64)>> = qs
+        .iter()
+        .map(|q| {
+            query::threshold_search(&store, q, EPS, Measure::Frechet).expect("embedded").results
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for c in 0..8 {
+            let qs = &qs;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = TrassClient::connect(addr).expect("connect");
+                for j in 0..8 {
+                    let i = (c + j) % qs.len();
+                    let wire = client
+                        .threshold(QueryRef::Inline(qs[i].clone()), EPS, Measure::Frechet)
+                        .expect("wire threshold");
+                    assert_bit_identical(&wire, &expected[i], "concurrent threshold");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn malformed_frames_get_clean_errors_and_the_server_survives() {
+    let store = build_store(50);
+    let server = start(&store);
+    let addr = server.local_addr();
+
+    // Unknown opcode: error response, connection keeps working.
+    let mut client = TrassClient::connect(addr).expect("connect");
+    let reply = client.send_raw(&protocol::frame(0x7E, &[]).expect("frame")).expect("reply");
+    assert_eq!(reply.status, ErrorCode::UnknownOp.code());
+    assert!(client.health().expect("health after unknown op").contains("status: ok"));
+
+    // Garbage payload under a valid opcode: malformed, connection survives.
+    let reply = client
+        .send_raw(&protocol::frame(Op::Threshold.code(), &[0xAB]).expect("frame"))
+        .expect("reply");
+    assert_eq!(reply.status, ErrorCode::Malformed.code());
+    assert!(client.health().expect("health after malformed").contains("status: ok"));
+
+    // Unsupported version: error response, then the server hangs up.
+    let mut probe = TrassClient::connect(addr).expect("connect");
+    let reply = probe.send_raw(&[0, 0, 0, 0, 9, Op::Health.code()]).expect("reply");
+    assert_eq!(reply.status, ErrorCode::UnsupportedVersion.code());
+    assert!(probe.health().is_err(), "connection should be closed after a version violation");
+
+    // Oversized length prefix: error response, then hang-up, no buffering.
+    let mut probe = TrassClient::connect(addr).expect("connect");
+    let mut bytes = u32::MAX.to_le_bytes().to_vec();
+    bytes.push(protocol::PROTOCOL_VERSION);
+    bytes.push(Op::Health.code());
+    let reply = probe.send_raw(&bytes).expect("reply");
+    assert_eq!(reply.status, ErrorCode::TooLarge.code());
+
+    // A truncated frame followed by disconnect leaves nothing to answer.
+    let mut probe = TrassClient::connect(addr).expect("connect");
+    let header = protocol::FrameHeader {
+        payload_len: 64,
+        version: protocol::PROTOCOL_VERSION,
+        op: Op::Threshold.code(),
+    };
+    let mut bytes = header.encode().to_vec();
+    bytes.extend_from_slice(&[1, 2, 3]);
+    probe.send_raw_no_reply(&bytes).expect("send");
+    drop(probe);
+
+    // The original connection and fresh connections both still work.
+    assert!(client.health().expect("health after suite").contains("status: ok"));
+    let mut fresh = TrassClient::connect(addr).expect("connect");
+    assert!(fresh.health().expect("fresh health").contains("status: ok"));
+}
+
+#[test]
+fn graceful_shutdown_joins_threads_and_releases_the_port() {
+    let store = build_store(50);
+    let mut server = start(&store);
+    let addr = server.local_addr();
+
+    let mut client = TrassClient::connect(addr).expect("connect");
+    client.health().expect("health");
+    client.shutdown_server().expect("wire shutdown");
+
+    // wait() observes the wire-initiated shutdown; shutdown() then joins
+    // the accept thread and every connection thread.
+    server.wait();
+    server.shutdown();
+    drop(server);
+
+    // All threads joined and the listener closed: the port rebinds.
+    TcpListener::bind(addr).expect("port released after shutdown");
+}
+
+#[test]
+fn shutdown_is_idempotent_and_safe_without_clients() {
+    let store = build_store(10);
+    let mut server = start(&store);
+    server.shutdown();
+    server.shutdown();
+    server.wait(); // already done: returns immediately
+}
+
+#[test]
+fn server_metrics_are_registered_and_counted() {
+    let store = build_store(50);
+    let server = start(&store);
+    let mut client = TrassClient::connect(server.local_addr()).expect("connect");
+
+    let q = queries(1).remove(0);
+    client.threshold(QueryRef::Inline(q), EPS, Measure::Frechet).expect("threshold");
+    client.health().expect("health");
+    // One protocol error to move the error counter.
+    let _ = client.send_raw(&protocol::frame(0x7E, &[]).expect("frame")).expect("reply");
+
+    let prom = store.render_prometheus();
+    for series in [
+        "trass_server_connections_total",
+        "trass_server_active_connections",
+        "trass_server_requests_total",
+        "trass_server_request_seconds",
+        "trass_server_protocol_errors_total",
+    ] {
+        assert!(prom.contains(series), "{series} missing from prometheus export");
+    }
+    // Per-op series carry the op label and actually counted.
+    assert!(prom.contains("op=\"threshold\""), "per-op label missing");
+    for line in prom.lines() {
+        if line.starts_with("trass_server_protocol_errors_total") {
+            let v: f64 = line.rsplit(' ').next().and_then(|t| t.parse().ok()).unwrap_or(0.0);
+            assert!(v >= 1.0, "protocol error counter should have moved: {line}");
+        }
+    }
+
+    // Wire stats is the same registry snapshot.
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("trass_server_requests_total"), "stats lacks server series");
+}

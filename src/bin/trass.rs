@@ -7,6 +7,7 @@
 //! trass range  --data <dir> --window lon0,lat0,lon1,lat1
 //! trass get    --data <dir> --tid <id>
 //! trass stats  --data <dir>
+//! trass serve  --data <dir> [--addr host:port]
 //! ```
 //!
 //! The deployment lives under `--data`: a sharded on-disk LSM cluster plus
@@ -50,7 +51,8 @@ usage:
   trass topk   --data <dir> --query <tid> --k <n> [--measure ...]
   trass range  --data <dir> --window lon0,lat0,lon1,lat1
   trass get    --data <dir> --tid <id>
-  trass stats  --data <dir>";
+  trass stats  --data <dir>
+  trass serve  --data <dir> [--addr host:port]   (addr default: TRASS_SERVE_ADDR, else 127.0.0.1:0)";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let cmd = args.first()?.clone();
@@ -80,6 +82,7 @@ fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
                 _ => unreachable!(),
             }
         }
+        "serve" => serve(&data_dir, flags),
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     }
 }
@@ -194,6 +197,33 @@ fn load(dir: &Path, flags: &HashMap<String, String>) -> Result<(), String> {
         report.skipped,
         dir.display()
     );
+    Ok(())
+}
+
+/// Serves the deployment over the wire protocol until a client sends the
+/// shutdown op (or the process is killed). The optional telemetry
+/// endpoint starts alongside when the config names an address.
+fn serve(dir: &Path, flags: &HashMap<String, String>) -> Result<(), String> {
+    let store = std::sync::Arc::new(open_store(dir)?);
+    let telemetry = match store.config().telemetry_addr.clone() {
+        Some(_) => {
+            let t = store.serve_telemetry().map_err(|e| format!("telemetry: {e}"))?;
+            println!("telemetry listening on http://{}", t.local_addr());
+            Some(t)
+        }
+        None => None,
+    };
+    let mut opts = trass::server::ServerOptions::default();
+    if let Some(addr) = flags.get("addr") {
+        opts.addr = addr.clone();
+    }
+    let mut server = trass::server::TrassServer::serve(std::sync::Arc::clone(&store), opts)
+        .map_err(|e| format!("bind {}: {e}", flags.get("addr").map_or("default addr", |a| a)))?;
+    println!("trass-server listening on {}", server.local_addr());
+    server.wait();
+    server.shutdown();
+    drop(telemetry);
+    println!("trass-server: shut down cleanly");
     Ok(())
 }
 

@@ -13,6 +13,8 @@
 //!   and spatial-range queries.
 //! * [`obs`] — observability: metrics, tracing, the telemetry endpoint,
 //!   and stage-tagged allocation/CPU profiling.
+//! * [`server`] — the network front-end: a length-prefixed binary wire
+//!   protocol over TCP, a thread-per-connection server, and a client.
 //! * [`baselines`] — the comparison engines of the paper's evaluation.
 //!
 //! # Example
@@ -44,4 +46,5 @@ pub use trass_geo as geo;
 pub use trass_index as index;
 pub use trass_kv as kv;
 pub use trass_obs as obs;
+pub use trass_server as server;
 pub use trass_traj as traj;
